@@ -1,0 +1,38 @@
+#!/bin/sh
+# Assemble the final bench_output.txt in bench-binary order.
+#
+# The light benches are (re)run directly; the three expensive scenario
+# benches splice in their saved logs (megathrust from the full sweep run,
+# palu + linking ablation from the chained run) so the record stays a
+# single file of genuine binary output without re-paying ~1 h of runtime.
+set -e
+cd "$(dirname "$0")/benchout"
+OUT=../bench_output.txt
+: > "$OUT"
+
+runlive() {
+  echo "==================================================================" >> "$OUT"
+  echo "== ../build/bench/$1" >> "$OUT"
+  echo "==================================================================" >> "$OUT"
+  "../build/bench/$1" >> "$OUT" 2>&1 || echo "FAILED: $1" >> "$OUT"
+  echo >> "$OUT"
+}
+
+splice() {
+  echo "==================================================================" >> "$OUT"
+  echo "== ../build/bench/$1  (saved log: $2)" >> "$OUT"
+  echo "==================================================================" >> "$OUT"
+  cat "$2" >> "$OUT"
+  echo >> "$OUT"
+}
+
+runlive bench_convergence
+runlive bench_lts_histogram
+runlive bench_mesh_accounting
+runlive bench_node_performance
+runlive bench_strong_scaling
+runlive bench_weight_sweep
+splice bench_megathrust_benchmark megathrust.log
+splice bench_linking_ablation ablation.log
+splice bench_palu_coupled palu.log
+echo "bench_output.txt assembled."

@@ -1,0 +1,69 @@
+// Reproduces the verification claim of paper Sec. 6.1: "convergence
+// analyses with respect to analytic solutions" for the coupled
+// elastic-acoustic scheme.
+//
+// Three analytic cases (homogeneous elastic, homogeneous acoustic, and a
+// genuinely coupled solid/fluid layer eigenmode) are run across polynomial
+// degrees and mesh resolutions; the relative L2 errors and observed
+// convergence orders are printed.  Expectation: high-order convergence
+// (roughly h^{N+1}) and a *converging* coupled scheme -- the paper
+// stresses that inconsistent one-sided fluxes would not converge at the
+// elastic-acoustic interface (Sec. 4.2).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "scenario/plane_wave.hpp"
+#include "solver/simulation.hpp"
+
+using namespace tsg;
+
+namespace {
+
+void runCase(const std::string& name,
+             const std::function<AnalyticCase(int)>& build, real tEnd,
+             const std::vector<int>& resolutions, const std::vector<int>& degrees,
+             Table& table) {
+  for (int degree : degrees) {
+    real prevErr = -1;
+    for (std::size_t r = 0; r < resolutions.size(); ++r) {
+      AnalyticCase c = build(resolutions[r]);
+      SolverConfig cfg;
+      cfg.degree = degree;
+      cfg.gravity = 0;
+      Simulation sim(c.mesh, c.materials, cfg);
+      sim.setInitialCondition(
+          [&](const Vec3& x, int) { return c.exact(x, 0.0); });
+      sim.advanceTo(tEnd);
+      const real err = solutionError(sim, c, sim.time());
+      real order = 0;
+      if (prevErr > 0) {
+        order = std::log(prevErr / err) / std::log(2.0);
+      }
+      table.row() << name << degree << resolutions[r] << err
+                  << (prevErr > 0 ? std::to_string(order) : std::string("-"));
+      prevErr = err;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Verification: convergence against analytic solutions "
+              "(paper Sec. 6.1)\n");
+  Table table({"case", "degree", "cells", "rel_L2_error", "observed_order"});
+
+  runCase("elastic", elasticStandingWaveCase, 0.12, {2, 4, 8}, {2, 3}, table);
+  runCase("acoustic", acousticStandingWaveCase, 0.2, {2, 4, 8}, {2, 3}, table);
+  runCase("coupled-layer", coupledLayerModeCase, 0.3, {5, 10, 20}, {2, 3},
+          table);
+
+  table.print("Convergence of the fully-coupled ADER-DG scheme");
+  table.writeCsv("convergence.csv");
+  std::printf("\nPaper reference: the coupled flux must converge; a flux "
+              "using one-sided material parameters would not (Sec. 4.2).\n");
+  return 0;
+}

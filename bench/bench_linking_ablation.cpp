@@ -1,0 +1,171 @@
+// Ablation of the one-way linking approximations (paper Sec. 2):
+//
+//   "the final, static seafloor uplift is utilized as an initial condition
+//    for the tsunami ... the long-wavelength components of the seafloor
+//    uplift are then assumed to instantaneously uplift the water column"
+//
+// Three shallow-water sourcing modes driven by the SAME dynamic-rupture
+// earthquake:
+//   (a) time-dependent bed motion (the paper's linked baseline, Sec. 6.1),
+//   (b) instantaneous final uplift filtered with Kajiura's 1/cosh(kh)
+//       transfer (the physically consistent static transfer),
+//   (c) instantaneous unfiltered uplift (the crudest standard practice).
+//
+// Expected shape: (a) and (b) agree closely for a rupture much faster than
+// the tsunami (the paper's justification for one-way linking); (c) retains
+// short-wavelength energy the water column cannot physically carry and
+// shows sharper, noisier fronts.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "linking/kajiura.hpp"
+#include "linking/one_way_linking.hpp"
+#include "scenario/megathrust.hpp"
+#include "solver/simulation.hpp"
+#include "swe/swe_solver.hpp"
+
+using namespace tsg;
+
+namespace {
+
+SweSolver makeOcean(real x0, real x1, real y0, real y1, real depth) {
+  SweConfig cfg;
+  cfg.nx = 128;
+  cfg.ny = 96;
+  cfg.x0 = x0;
+  cfg.y0 = y0;
+  cfg.dx = (x1 - x0) / cfg.nx;
+  cfg.dy = (y1 - y0) / cfg.ny;
+  SweSolver swe(cfg);
+  swe.setBathymetry([depth](real, real) { return -depth; });
+  swe.initializeLakeAtRest(0.0);
+  return swe;
+}
+
+struct CrossSection {
+  std::vector<real> eta;
+  real maxAbs = 0;
+  real roughness = 0;  // mean |second difference|: front sharpness/noise
+};
+
+CrossSection sample(const SweSolver& swe) {
+  CrossSection c;
+  const int j = swe.config().ny / 2;
+  for (int i = 0; i < swe.config().nx; ++i) {
+    c.eta.push_back(swe.isWet(i, j) ? swe.surface(i, j) : 0.0);
+    c.maxAbs = std::max(c.maxAbs, std::abs(c.eta.back()));
+  }
+  for (std::size_t i = 1; i + 1 < c.eta.size(); ++i) {
+    c.roughness += std::abs(c.eta[i + 1] - 2 * c.eta[i] + c.eta[i - 1]);
+  }
+  c.roughness /= std::max<real>(1, c.eta.size() - 2) * std::max(c.maxAbs, real(1e-12));
+  return c;
+}
+
+real correlation(const CrossSection& a, const CrossSection& b) {
+  real dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.eta.size(); ++i) {
+    dot += a.eta[i] * b.eta[i];
+    na += a.eta[i] * a.eta[i];
+    nb += b.eta[i] * b.eta[i];
+  }
+  return dot / std::sqrt(std::max(na * nb, real(1e-30)));
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  // Earthquake-only (dry) megathrust run recording the seafloor motion.
+  MegathrustParams params;
+  params.h = 3000.0;
+  params.faultAlongStrike = 12000.0;
+  params.faultDownDip = 9000.0;
+  params.domainPadding = 12000.0;
+  params.withWater = false;
+  const MegathrustScenario dry = buildMegathrustScenario(params);
+  SolverConfig cfg = megathrustSolverConfig(2);
+  cfg.gravity = 0;
+  Simulation eq(dry.mesh, dry.materials, cfg);
+  eq.setInitialCondition([](const Vec3&, int) {
+    return std::array<real, 9>{};
+  });
+  eq.setupFault(dry.faultInit);
+
+  const int gridN = 64;
+  SeafloorUpliftRecorder recorder(gridN, gridN, dry.xMin, dry.yMin,
+                                  (dry.xMax - dry.xMin) / gridN,
+                                  (dry.yMax - dry.yMin) / gridN);
+  std::vector<Vec3> probes;
+  std::vector<int> elems;
+  std::vector<real> uplift(gridN * gridN, 0.0);
+  for (int j = 0; j < gridN; ++j) {
+    for (int i = 0; i < gridN; ++i) {
+      probes.push_back({dry.xMin + (i + 0.5) * (dry.xMax - dry.xMin) / gridN,
+                        dry.yMin + (j + 0.5) * (dry.yMax - dry.yMin) / gridN,
+                        -params.waterDepth - 300.0});
+    }
+  }
+  for (auto& p : probes) {
+    elems.push_back(eq.findElement(p));
+  }
+  real lastT = 0;
+  eq.onMacroStep([&](real t) {
+    const real dt = t - lastT;
+    lastT = t;
+    std::vector<SeafloorSample> samples;
+    for (std::size_t k = 0; k < probes.size(); ++k) {
+      if (elems[k] < 0) {
+        continue;
+      }
+      const auto q = eq.evaluate(elems[k],
+                                 eq.mesh().toReference(elems[k], probes[k]));
+      uplift[k] += q[kVz] * dt;
+      samples.push_back({probes[k][0], probes[k][1], uplift[k]});
+    }
+    recorder.recordSnapshot(t, samples);
+  });
+  const real quakeTime = 8.0;
+  std::printf("running earthquake (dry) to t = %.1f s...\n", quakeTime);
+  eq.advanceTo(quakeTime);
+
+  // Three sourcing modes, all evolved to the same observation time.
+  const real tObs = 60.0;
+  SweSolver timeDependent =
+      makeOcean(dry.xMin, dry.xMax, dry.yMin, dry.yMax, params.waterDepth);
+  timeDependent.setBedMotion(recorder.bedMotion());
+  timeDependent.advanceTo(tObs);
+
+  SweSolver instantKajiura =
+      makeOcean(dry.xMin, dry.xMax, dry.yMin, dry.yMax, params.waterDepth);
+  applyInstantaneousSource(instantKajiura, recorder, true, params.waterDepth);
+  instantKajiura.advanceTo(tObs);
+
+  SweSolver instantRaw =
+      makeOcean(dry.xMin, dry.xMax, dry.yMin, dry.yMax, params.waterDepth);
+  applyInstantaneousSource(instantRaw, recorder, false, params.waterDepth);
+  instantRaw.advanceTo(tObs);
+
+  const CrossSection a = sample(timeDependent);
+  const CrossSection b = sample(instantKajiura);
+  const CrossSection c = sample(instantRaw);
+
+  Table t({"mode", "max_eta_m", "roughness", "corr_vs_time_dependent"});
+  t.row() << "time-dependent bed motion" << a.maxAbs << a.roughness << 1.0;
+  t.row() << "instantaneous + Kajiura" << b.maxAbs << b.roughness
+          << correlation(a, b);
+  t.row() << "instantaneous, unfiltered" << c.maxAbs << c.roughness
+          << correlation(a, c);
+  t.print("Linking-approximation ablation (t = " + std::to_string(tObs) +
+          " s)");
+  t.writeCsv("linking_ablation.csv");
+
+  std::printf("\nPaper expectation: for a rupture much faster than the\n"
+              "tsunami, the instantaneous (filtered) source is a good\n"
+              "approximation of the time-dependent one; the unfiltered\n"
+              "source keeps unphysical short wavelengths.\n");
+  return 0;
+}

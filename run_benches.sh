@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs every bench binary, teeing to bench_output.txt (CSV artefacts land
+# in the working directory).
+set -x
+cd "$(dirname "$0")/benchout" || exit 1
+{
+  for b in ../build/bench/*; do
+    echo "=================================================================="
+    echo "== $b"
+    echo "=================================================================="
+    "$b" || echo "FAILED: $b"
+    echo
+  done
+} 2>&1 | tee ../bench_output.txt

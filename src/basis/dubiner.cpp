@@ -1,0 +1,162 @@
+#include "basis/dubiner.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "basis/jacobi.hpp"
+
+namespace tsg {
+
+namespace {
+
+/// x^k for integer k, returning 0 for negative k.  Negative exponents only
+/// occur multiplied by an (exactly zero) cofactor in the gradient formulas
+/// below, so mapping them to 0 keeps every term finite and correct.
+double powInt(double x, int k) {
+  if (k < 0) {
+    return 0.0;
+  }
+  double r = 1.0;
+  for (int i = 0; i < k; ++i) {
+    r *= x;
+  }
+  return r;
+}
+
+/// Collapsed coordinates of the unit tetrahedron.  At the singular edges
+/// the limits a = -1 / b = -1 are taken; basis values are continuous there.
+void collapse(const Vec3& xi, double& a, double& b, double& c) {
+  const double den1 = 1.0 - xi[1] - xi[2];
+  a = (std::abs(den1) > 1e-300) ? 2.0 * xi[0] / den1 - 1.0 : -1.0;
+  const double den2 = 1.0 - xi[2];
+  b = (std::abs(den2) > 1e-300) ? 2.0 * xi[1] / den2 - 1.0 : -1.0;
+  c = 2.0 * xi[2] - 1.0;
+}
+
+double tetNorm(int p, int q, int r) {
+  const double na = 2.0 / (2.0 * p + 1.0);
+  const double nb = powInt(0.5, 2 * p) * jacobiNormSquared(q, 2.0 * p + 1.0, 0.0);
+  const double nc = powInt(0.5, 2 * p + 2 * q) *
+                    jacobiNormSquared(r, 2.0 * p + 2.0 * q + 2.0, 0.0);
+  return std::sqrt(na * nb * nc / 64.0);
+}
+
+double triNorm(int p, int q) {
+  const double na = 2.0 / (2.0 * p + 1.0);
+  const double nb = powInt(0.5, 2 * p) * jacobiNormSquared(q, 2.0 * p + 1.0, 0.0);
+  return std::sqrt(na * nb / 8.0);
+}
+
+}  // namespace
+
+const std::vector<TetBasisIndex>& tetBasisIndices(int degree) {
+  static std::mutex mutex;
+  static std::map<int, std::vector<TetBasisIndex>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(degree);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  std::vector<TetBasisIndex> idx;
+  for (int d = 0; d <= degree; ++d) {
+    for (int p = d; p >= 0; --p) {
+      for (int q = d - p; q >= 0; --q) {
+        idx.push_back({p, q, d - p - q});
+      }
+    }
+  }
+  return cache.emplace(degree, std::move(idx)).first->second;
+}
+
+real dubinerTet(int l, int degree, const Vec3& xi) {
+  const auto& idx = tetBasisIndices(degree);
+  assert(l >= 0 && l < static_cast<int>(idx.size()));
+  const auto [p, q, r] = idx[l];
+  double a, b, c;
+  collapse(xi, a, b, c);
+  const double value = jacobiP(p, 0, 0, a) * powInt((1.0 - b) / 2.0, p) *
+                       jacobiP(q, 2.0 * p + 1.0, 0.0, b) *
+                       powInt((1.0 - c) / 2.0, p + q) *
+                       jacobiP(r, 2.0 * p + 2.0 * q + 2.0, 0.0, c);
+  return value / tetNorm(p, q, r);
+}
+
+Vec3 dubinerTetGradient(int l, int degree, const Vec3& xi) {
+  const auto& idx = tetBasisIndices(degree);
+  assert(l >= 0 && l < static_cast<int>(idx.size()));
+  const auto [p, q, r] = idx[l];
+  double a, b, c;
+  collapse(xi, a, b, c);
+
+  const double A = jacobiP(p, 0, 0, a);
+  const double dA = jacobiPDerivative(p, 0, 0, a);
+  const double B = jacobiP(q, 2.0 * p + 1.0, 0.0, b);
+  const double dB = jacobiPDerivative(q, 2.0 * p + 1.0, 0.0, b);
+  const double C = jacobiP(r, 2.0 * p + 2.0 * q + 2.0, 0.0, c);
+  const double dC = jacobiPDerivative(r, 2.0 * p + 2.0 * q + 2.0, 0.0, c);
+
+  const double fb = powInt((1.0 - b) / 2.0, p);
+  const double fb1 = powInt((1.0 - b) / 2.0, p - 1);
+  const double fc = powInt((1.0 - c) / 2.0, p + q);
+  const double fc1 = powInt((1.0 - c) / 2.0, p + q - 1);
+
+  // d(fb * B)/db expressed with the guarded power fb1.
+  const double dfB = -0.5 * p * fb1 * B + fb * dB;
+  // d(fc * C)/dc with the guarded power fc1.
+  const double dfC = -0.5 * (p + q) * fc1 * C + fc * dC;
+
+  const double dxi = 2.0 * dA * fb1 * B * fc1 * C;
+  const double term1 = dA * (a + 1.0) * fb1 * B * fc1 * C;
+  const double deta = term1 + 2.0 * A * dfB * fc1 * C;
+  const double dzeta = term1 + A * dfB * (b + 1.0) * fc1 * C + 2.0 * A * fb * B * dfC;
+
+  const double inv = 1.0 / tetNorm(p, q, r);
+  return {inv * dxi, inv * deta, inv * dzeta};
+}
+
+void dubinerTetAll(int degree, const Vec3& xi, real* values) {
+  const auto& idx = tetBasisIndices(degree);
+  for (std::size_t l = 0; l < idx.size(); ++l) {
+    values[l] = dubinerTet(static_cast<int>(l), degree, xi);
+  }
+}
+
+const std::vector<TriBasisIndex>& triBasisIndices(int degree) {
+  static std::mutex mutex;
+  static std::map<int, std::vector<TriBasisIndex>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(degree);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  std::vector<TriBasisIndex> idx;
+  for (int d = 0; d <= degree; ++d) {
+    for (int p = d; p >= 0; --p) {
+      idx.push_back({p, d - p});
+    }
+  }
+  return cache.emplace(degree, std::move(idx)).first->second;
+}
+
+real dubinerTri(int l, int degree, real xi, real eta) {
+  const auto& idx = triBasisIndices(degree);
+  assert(l >= 0 && l < static_cast<int>(idx.size()));
+  const auto [p, q] = idx[l];
+  const double den = 1.0 - eta;
+  const double a = (std::abs(den) > 1e-300) ? 2.0 * xi / den - 1.0 : -1.0;
+  const double b = 2.0 * eta - 1.0;
+  const double value = jacobiP(p, 0, 0, a) * powInt((1.0 - b) / 2.0, p) *
+                       jacobiP(q, 2.0 * p + 1.0, 0.0, b);
+  return value / triNorm(p, q);
+}
+
+void dubinerTriAll(int degree, real xi, real eta, real* values) {
+  const auto& idx = triBasisIndices(degree);
+  for (std::size_t l = 0; l < idx.size(); ++l) {
+    values[l] = dubinerTri(static_cast<int>(l), degree, xi, eta);
+  }
+}
+
+}  // namespace tsg

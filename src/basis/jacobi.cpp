@@ -1,0 +1,45 @@
+#include "basis/jacobi.hpp"
+
+#include <cmath>
+
+namespace tsg {
+
+double jacobiP(int n, double alpha, double beta, double x) {
+  if (n == 0) {
+    return 1.0;
+  }
+  double pm1 = 1.0;
+  double p = 0.5 * ((alpha - beta) + (alpha + beta + 2.0) * x);
+  for (int k = 2; k <= n; ++k) {
+    const double a = 2.0 * k + alpha + beta;
+    const double c1 = 2.0 * k * (k + alpha + beta) * (a - 2.0);
+    const double c2 = (a - 1.0) * (alpha * alpha - beta * beta);
+    const double c3 = (a - 2.0) * (a - 1.0) * a;
+    const double c4 = 2.0 * (k + alpha - 1.0) * (k + beta - 1.0) * a;
+    const double next = ((c2 + c3 * x) * p - c4 * pm1) / c1;
+    pm1 = p;
+    p = next;
+  }
+  return p;
+}
+
+double jacobiPDerivative(int n, double alpha, double beta, double x) {
+  if (n == 0) {
+    return 0.0;
+  }
+  return 0.5 * (n + alpha + beta + 1.0) *
+         jacobiP(n - 1, alpha + 1.0, beta + 1.0, x);
+}
+
+double jacobiNormSquared(int n, double alpha, double beta) {
+  // 2^{a+b+1} / (2n+a+b+1) * Gamma(n+a+1) Gamma(n+b+1) /
+  //                          (Gamma(n+a+b+1) n!)
+  const double lg = (alpha + beta + 1.0) * std::log(2.0) -
+                    std::log(2.0 * n + alpha + beta + 1.0) +
+                    std::lgamma(n + alpha + 1.0) + std::lgamma(n + beta + 1.0) -
+                    std::lgamma(n + alpha + beta + 1.0) -
+                    std::lgamma(n + 1.0);
+  return std::exp(lg);
+}
+
+}  // namespace tsg

@@ -1,0 +1,21 @@
+#pragma once
+
+// Jacobi polynomials P_n^{(alpha,beta)} on [-1, 1] and their derivatives.
+//
+// These are the 1D building blocks of the Dubiner basis on collapsed
+// simplex coordinates and of the Gauss-Jacobi quadrature rules used to
+// precompute all reference-element matrices.
+
+namespace tsg {
+
+/// Evaluate P_n^{(alpha,beta)}(x) via the standard three-term recurrence.
+double jacobiP(int n, double alpha, double beta, double x);
+
+/// d/dx P_n^{(alpha,beta)}(x) = (n+alpha+beta+1)/2 * P_{n-1}^{(alpha+1,beta+1)}(x).
+double jacobiPDerivative(int n, double alpha, double beta, double x);
+
+/// L2 norm squared of P_n^{(alpha,beta)} w.r.t. the weight
+/// (1-x)^alpha (1+x)^beta on [-1,1].
+double jacobiNormSquared(int n, double alpha, double beta);
+
+}  // namespace tsg

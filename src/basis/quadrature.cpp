@@ -1,0 +1,203 @@
+#include "basis/quadrature.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsg {
+
+namespace {
+
+/// Eigenvalues and first-row eigenvector components of a symmetric
+/// tridiagonal matrix via the implicit QL algorithm with Wilkinson shifts
+/// (tql2 restricted to tracking only the first eigenvector row, which is
+/// all Golub-Welsch needs).
+void symmetricTridiagonalEigen(std::vector<double>& diag,
+                               std::vector<double>& offdiag,
+                               std::vector<double>& firstRow) {
+  const int n = static_cast<int>(diag.size());
+  firstRow.assign(n, 0.0);
+  if (n == 0) {
+    return;
+  }
+  firstRow[0] = 1.0;
+  offdiag.push_back(0.0);
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m = l;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(diag[m]) + std::abs(diag[m + 1]);
+        if (std::abs(offdiag[m]) <= 1e-15 * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (iter++ == 60) {
+          throw std::runtime_error("tql2 failed to converge");
+        }
+        double g = (diag[l + 1] - diag[l]) / (2.0 * offdiag[l]);
+        double r = std::hypot(g, 1.0);
+        g = diag[m] - diag[l] +
+            offdiag[l] / (g + (g >= 0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (int i = m - 1; i >= l; --i) {
+          double f = s * offdiag[i];
+          const double b = c * offdiag[i];
+          r = std::hypot(f, g);
+          offdiag[i + 1] = r;
+          if (r == 0.0) {
+            diag[i + 1] -= p;
+            offdiag[m] = 0.0;
+            underflow = (i >= l);
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = diag[i + 1] - p;
+          r = (diag[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          diag[i + 1] = g + p;
+          g = c * r - b;
+          // Update the tracked eigenvector row.
+          f = firstRow[i + 1];
+          firstRow[i + 1] = s * firstRow[i] + c * f;
+          firstRow[i] = c * firstRow[i] - s * f;
+        }
+        if (underflow) {
+          continue;
+        }
+        diag[l] -= p;
+        offdiag[l] = g;
+        offdiag[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+Quadrature1D gaussJacobi(int n, double alpha, double beta) {
+  assert(n >= 1);
+  // Three-term recurrence coefficients of the monic Jacobi polynomials.
+  std::vector<double> a(n), b(n);
+  const double ab = alpha + beta;
+  for (int k = 0; k < n; ++k) {
+    const double denom = (2.0 * k + ab) * (2.0 * k + ab + 2.0);
+    a[k] = (denom == 0.0) ? (beta - alpha) / (ab + 2.0)
+                          : (beta * beta - alpha * alpha) / denom;
+  }
+  // b[0] unused; b[k] for k >= 1.
+  for (int k = 1; k < n; ++k) {
+    double num;
+    double den;
+    if (k == 1) {
+      num = 4.0 * (1.0 + alpha) * (1.0 + beta);
+      den = (2.0 + ab) * (2.0 + ab) * (3.0 + ab);
+    } else {
+      num = 4.0 * k * (k + alpha) * (k + beta) * (k + ab);
+      den = (2.0 * k + ab) * (2.0 * k + ab) * (2.0 * k + ab + 1.0) *
+            (2.0 * k + ab - 1.0);
+    }
+    b[k] = num / den;
+  }
+  const double mu0 = std::exp((ab + 1.0) * std::log(2.0) +
+                              std::lgamma(alpha + 1.0) +
+                              std::lgamma(beta + 1.0) - std::lgamma(ab + 2.0));
+
+  std::vector<double> diag = a;
+  std::vector<double> off(n - 1);
+  for (int k = 1; k < n; ++k) {
+    off[k - 1] = std::sqrt(b[k]);
+  }
+  std::vector<double> firstRow;
+  symmetricTridiagonalEigen(diag, off, firstRow);
+
+  // Sort by node.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (diag[order[j]] < diag[order[i]]) {
+        std::swap(order[i], order[j]);
+      }
+    }
+  }
+  Quadrature1D q;
+  q.points.resize(n);
+  q.weights.resize(n);
+  for (int i = 0; i < n; ++i) {
+    q.points[i] = diag[order[i]];
+    q.weights[i] = mu0 * firstRow[order[i]] * firstRow[order[i]];
+  }
+  return q;
+}
+
+Quadrature1D gaussLegendre(int n, double a, double b) {
+  Quadrature1D base = gaussJacobi(n, 0.0, 0.0);
+  Quadrature1D out;
+  out.points.resize(n);
+  out.weights.resize(n);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  for (int i = 0; i < n; ++i) {
+    out.points[i] = mid + half * base.points[i];
+    out.weights[i] = half * base.weights[i];
+  }
+  return out;
+}
+
+std::vector<QuadraturePoint3> tetrahedronQuadrature(int pointsPerDirection) {
+  const int n = pointsPerDirection;
+  const Quadrature1D qa = gaussJacobi(n, 0.0, 0.0);
+  const Quadrature1D qb = gaussJacobi(n, 1.0, 0.0);
+  const Quadrature1D qc = gaussJacobi(n, 2.0, 0.0);
+  std::vector<QuadraturePoint3> pts;
+  pts.reserve(static_cast<std::size_t>(n) * n * n);
+  // xi   = (1+a)(1-b)(1-c)/8, eta = (1+b)(1-c)/4, zeta = (1+c)/2
+  // dV   = (1-b)(1-c)^2 / 64 da db dc; the (1-b) and (1-c)^2 factors are
+  // absorbed by the Jacobi weights of qb and qc.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        const double a = qa.points[i];
+        const double b = qb.points[j];
+        const double c = qc.points[k];
+        QuadraturePoint3 p;
+        p.xi = {(1.0 + a) * (1.0 - b) * (1.0 - c) / 8.0,
+                (1.0 + b) * (1.0 - c) / 4.0, (1.0 + c) / 2.0};
+        p.weight = qa.weights[i] * qb.weights[j] * qc.weights[k] / 64.0;
+        pts.push_back(p);
+      }
+    }
+  }
+  return pts;
+}
+
+std::vector<QuadraturePoint2> triangleQuadrature(int pointsPerDirection) {
+  const int n = pointsPerDirection;
+  const Quadrature1D qa = gaussJacobi(n, 0.0, 0.0);
+  const Quadrature1D qb = gaussJacobi(n, 1.0, 0.0);
+  std::vector<QuadraturePoint2> pts;
+  pts.reserve(static_cast<std::size_t>(n) * n);
+  // xi = (1+a)(1-b)/4, eta = (1+b)/2, dA = (1-b)/8 da db.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double a = qa.points[i];
+      const double b = qb.points[j];
+      QuadraturePoint2 p;
+      p.xi = (1.0 + a) * (1.0 - b) / 4.0;
+      p.eta = (1.0 + b) / 2.0;
+      p.weight = qa.weights[i] * qb.weights[j] / 8.0;
+      pts.push_back(p);
+    }
+  }
+  return pts;
+}
+
+}  // namespace tsg

@@ -1,0 +1,48 @@
+#pragma once
+
+// Quadrature rules:
+//  * Gauss-Jacobi on [-1, 1] (Golub-Welsch on the Jacobi matrix),
+//  * conical-product rules on the reference triangle and tetrahedron
+//    obtained from collapsed coordinates.
+//
+// The simplex rules with n points per direction are exact for polynomials
+// of total degree <= 2n - 1, which suffices for all mass/stiffness/flux
+// precomputations (integrands of degree <= 2N for basis degree N).
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+struct Quadrature1D {
+  std::vector<double> points;   // in [-1, 1]
+  std::vector<double> weights;  // w.r.t. weight (1-x)^alpha (1+x)^beta
+};
+
+/// n-point Gauss-Jacobi rule for the weight (1-x)^alpha (1+x)^beta.
+Quadrature1D gaussJacobi(int n, double alpha, double beta);
+
+/// Gauss-Legendre (alpha = beta = 0) shifted to [a, b] with plain weight.
+Quadrature1D gaussLegendre(int n, double a, double b);
+
+struct QuadraturePoint3 {
+  Vec3 xi;
+  double weight;
+};
+
+struct QuadraturePoint2 {
+  double xi;
+  double eta;
+  double weight;
+};
+
+/// Conical rule on the reference tetrahedron
+/// {xi,eta,zeta >= 0, xi+eta+zeta <= 1}; weights sum to 1/6.
+std::vector<QuadraturePoint3> tetrahedronQuadrature(int pointsPerDirection);
+
+/// Conical rule on the reference triangle {xi,eta >= 0, xi+eta <= 1};
+/// weights sum to 1/2.
+std::vector<QuadraturePoint2> triangleQuadrature(int pointsPerDirection);
+
+}  // namespace tsg

@@ -1,0 +1,132 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsg {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) {
+    ++a;
+  }
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) {
+    --b;
+  }
+  return s.substr(a, b - a);
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ConfigFile: cannot open " + path);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+ConfigFile ConfigFile::parse(const std::string& text) {
+  ConfigFile cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("ConfigFile: missing '=' on line " +
+                               std::to_string(lineNo) + ": " + line);
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("ConfigFile: empty key on line " +
+                               std::to_string(lineNo));
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+bool ConfigFile::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ConfigFile::getString(const std::string& key,
+                                  const std::string& dflt) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? dflt : it->second;
+}
+
+double ConfigFile::getNumber(const std::string& key, double dflt) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return dflt;
+  }
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != it->second.size()) {
+    throw std::runtime_error("ConfigFile: not a number: " + key + " = " +
+                             it->second);
+  }
+  return v;
+}
+
+int ConfigFile::getInt(const std::string& key, int dflt) const {
+  return static_cast<int>(getNumber(key, dflt));
+}
+
+bool ConfigFile::getBool(const std::string& key, bool dflt) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return dflt;
+  }
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") {
+    return true;
+  }
+  if (v == "false" || v == "no" || v == "off" || v == "0") {
+    return false;
+  }
+  throw std::runtime_error("ConfigFile: not a boolean: " + key + " = " +
+                           it->second);
+}
+
+std::set<std::string> ConfigFile::unusedKeys() const {
+  std::set<std::string> unused;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (!used_.count(k)) {
+      unused.insert(k);
+    }
+  }
+  return unused;
+}
+
+}  // namespace tsg

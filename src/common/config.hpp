@@ -1,0 +1,36 @@
+#pragma once
+
+// Minimal key = value configuration files for the CLI driver (the role of
+// SeisSol's parameter files).  Supports comments (#), strings, numbers,
+// booleans, and reports unknown keys so typos do not silently fall back
+// to defaults.
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace tsg {
+
+class ConfigFile {
+ public:
+  /// Parse from a file; throws std::runtime_error on I/O or syntax errors.
+  static ConfigFile load(const std::string& path);
+  /// Parse from a string (testing).
+  static ConfigFile parse(const std::string& text);
+
+  bool has(const std::string& key) const;
+  std::string getString(const std::string& key, const std::string& dflt) const;
+  double getNumber(const std::string& key, double dflt) const;
+  int getInt(const std::string& key, int dflt) const;
+  bool getBool(const std::string& key, bool dflt) const;
+
+  /// Keys present in the file but never queried (call after reading all
+  /// options to catch typos).
+  std::set<std::string> unusedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace tsg

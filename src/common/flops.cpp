@@ -1,0 +1,55 @@
+#include "common/flops.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace tsg {
+
+namespace {
+
+struct Counter {
+  std::uint64_t value = 0;
+};
+
+std::mutex g_registryMutex;
+std::vector<Counter*>& registry() {
+  static std::vector<Counter*> r;
+  return r;
+}
+
+Counter& threadCounter() {
+  thread_local Counter* counter = [] {
+    auto* c = new Counter();  // leaked deliberately: thread counters must
+                              // outlive thread exit for final aggregation
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    registry().push_back(c);
+    return c;
+  }();
+  return *counter;
+}
+
+}  // namespace
+
+void countFlops(std::uint64_t n) { threadCounter().value += n; }
+
+std::uint64_t totalFlops() {
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  std::uint64_t sum = 0;
+  for (const Counter* c : registry()) {
+    sum += c->value;
+  }
+  return sum;
+}
+
+void resetFlops() {
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  for (Counter* c : registry()) {
+    c->value = 0;
+  }
+}
+
+FlopScope::FlopScope() : start_(totalFlops()) {}
+
+std::uint64_t FlopScope::flops() const { return totalFlops() - start_; }
+
+}  // namespace tsg

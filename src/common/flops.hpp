@@ -1,0 +1,33 @@
+#pragma once
+
+// Floating-point operation accounting.
+//
+// SeisSol reports sustained GFLOPS for its production runs (paper Secs. 5.1,
+// 6.2, 6.3).  We count the FLOPs of every GEMM issued by the element
+// kernels; the counters are thread-local and aggregated on demand, so
+// counting is cheap enough to stay enabled in production builds.
+
+#include <cstdint>
+
+namespace tsg {
+
+/// Add `n` floating point operations to this thread's counter.
+void countFlops(std::uint64_t n);
+
+/// Sum of all per-thread counters since the last reset.
+std::uint64_t totalFlops();
+
+/// Reset all per-thread counters.
+void resetFlops();
+
+/// RAII scope that reports the FLOPs executed within its lifetime.
+class FlopScope {
+ public:
+  FlopScope();
+  std::uint64_t flops() const;
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,242 @@
+#pragma once
+
+// Small dense row-major matrix with a register-blocked micro-GEMM.
+//
+// This plays the role of the generated small-GEMM kernels (LIBXSMM /
+// PSpaMM) in SeisSol: all element-local ADER-DG kernels are sequences of
+// products of matrices whose dimensions are the basis size B_N (<= 56 for
+// degree 5) and the quantity count (9).  The micro-kernel below is written
+// so that the compiler can keep a 4x8 accumulator block in registers and
+// vectorise the k-loop over contiguous rows of B.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+#include "common/flops.hpp"
+#include "common/types.hpp"
+
+namespace tsg {
+
+namespace detail {
+
+/// C(MxN) += A(MxK) * B(KxN), all row-major with given leading dimensions.
+inline void gemmAccImpl(int m, int n, int k, const real* a, int lda,
+                        const real* b, int ldb, real* c, int ldc) {
+  constexpr int kBlockM = 4;
+  constexpr int kBlockN = 8;
+  int i = 0;
+  for (; i + kBlockM <= m; i += kBlockM) {
+    int j = 0;
+    for (; j + kBlockN <= n; j += kBlockN) {
+      real acc[kBlockM][kBlockN] = {};
+      for (int p = 0; p < k; ++p) {
+        for (int bi = 0; bi < kBlockM; ++bi) {
+          const real av = a[(i + bi) * lda + p];
+          for (int bj = 0; bj < kBlockN; ++bj) {
+            acc[bi][bj] += av * b[p * ldb + j + bj];
+          }
+        }
+      }
+      for (int bi = 0; bi < kBlockM; ++bi) {
+        for (int bj = 0; bj < kBlockN; ++bj) {
+          c[(i + bi) * ldc + j + bj] += acc[bi][bj];
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      for (int bi = 0; bi < kBlockM; ++bi) {
+        real acc = 0;
+        for (int p = 0; p < k; ++p) {
+          acc += a[(i + bi) * lda + p] * b[p * ldb + j];
+        }
+        c[(i + bi) * ldc + j] += acc;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      real acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += a[i * lda + p] * b[p * ldb + j];
+      }
+      c[i * ldc + j] += acc;
+    }
+  }
+}
+
+}  // namespace detail
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(size()) {}
+  Matrix(int rows, int cols, std::initializer_list<real> vals)
+      : rows_(rows), cols_(cols), data_(vals) {
+    assert(static_cast<int>(vals.size()) == rows * cols);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+
+  real& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  real operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  real* data() { return data_.data(); }
+  const real* data() const { return data_.data(); }
+
+  void setZero() { std::fill(data_.begin(), data_.end(), real{0}); }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        t(c, r) = (*this)(r, c);
+      }
+    }
+    return t;
+  }
+
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) {
+      m(i, i) = 1;
+    }
+    return m;
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] += o.data_[i];
+    }
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] -= o.data_[i];
+    }
+    return *this;
+  }
+  Matrix& operator*=(real s) {
+    for (real& v : data_) {
+      v *= s;
+    }
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(real s, Matrix a) { return a *= s; }
+
+  real maxAbs() const {
+    real m = 0;
+    for (real v : data_) {
+      m = std::max(m, std::abs(v));
+    }
+    return m;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<real> data_;
+};
+
+/// C += A * B
+inline void gemmAcc(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols());
+  detail::gemmAccImpl(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
+                      b.data(), b.cols(), c.data(), c.cols());
+  countFlops(2ull * a.rows() * a.cols() * b.cols());
+}
+
+/// C += s * (A * B)
+inline void gemmAccScaled(real s, const Matrix& a, const Matrix& b, Matrix& c) {
+  Matrix tmp(a.rows(), b.cols());
+  gemmAcc(a, b, tmp);
+  tmp *= s;
+  c += tmp;
+}
+
+inline Matrix operator*(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemmAcc(a, b, c);
+  return c;
+}
+
+/// Solve the dense linear system A x = b with partial pivoting (in-place LU).
+/// Used only in setup code (inverting small mass / transformation matrices).
+inline Matrix solveDense(Matrix a, Matrix b) {
+  const int n = a.rows();
+  assert(a.cols() == n && b.rows() == n);
+  std::vector<int> piv(n);
+  for (int i = 0; i < n; ++i) {
+    piv[i] = i;
+  }
+  for (int col = 0; col < n; ++col) {
+    int best = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(best, col))) {
+        best = r;
+      }
+    }
+    if (best != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a(col, c), a(best, c));
+      }
+      for (int c = 0; c < b.cols(); ++c) {
+        std::swap(b(col, c), b(best, c));
+      }
+    }
+    assert(std::abs(a(col, col)) > 0);
+    const real inv = 1.0 / a(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const real f = a(r, col) * inv;
+      if (f == 0) {
+        continue;
+      }
+      for (int c = col; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+      }
+      for (int c = 0; c < b.cols(); ++c) {
+        b(r, c) -= f * b(col, c);
+      }
+    }
+  }
+  for (int col = n - 1; col >= 0; --col) {
+    const real inv = 1.0 / a(col, col);
+    for (int c = 0; c < b.cols(); ++c) {
+      b(col, c) *= inv;
+    }
+    for (int r = 0; r < col; ++r) {
+      const real f = a(r, col);
+      if (f == 0) {
+        continue;
+      }
+      for (int c = 0; c < b.cols(); ++c) {
+        b(r, c) -= f * b(col, c);
+      }
+    }
+  }
+  return b;
+}
+
+inline Matrix inverse(const Matrix& a) {
+  return solveDense(a, Matrix::identity(a.rows()));
+}
+
+}  // namespace tsg

@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace tsg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(const std::string& s) {
+  row_.push_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(const char* s) {
+  row_.emplace_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  row_.emplace_back(buf);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(int v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(long long v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(unsigned long long v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder::~RowBuilder() { table_.addRow(std::move(row_)); }
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::cout << "\n== " << title << " ==\n";
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << "  ";
+      std::cout.width(static_cast<std::streamsize>(widths[c]));
+      std::cout << row[c];
+    }
+    std::cout << "\n";
+  };
+  printRow(header_);
+  for (const auto& row : rows_) {
+    printRow(row);
+  }
+  std::cout.flush();
+}
+
+void Table::writeCsv(const std::string& path) const {
+  std::ofstream out(path);
+  auto writeRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out << ",";
+      }
+      out << row[c];
+    }
+    out << "\n";
+  };
+  writeRow(header_);
+  for (const auto& row : rows_) {
+    writeRow(row);
+  }
+}
+
+}  // namespace tsg

@@ -1,0 +1,51 @@
+#pragma once
+
+// Console / CSV table writer for benchmark output.
+//
+// Every benchmark binary regenerating a paper figure prints the series it
+// measured as an aligned table (one row per data point) and optionally
+// writes the same rows as CSV next to the binary, so figures can be
+// re-plotted without re-running.
+
+#include <string>
+#include <vector>
+
+namespace tsg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g, keeps strings as-is.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& operator<<(const std::string& s);
+    RowBuilder& operator<<(const char* s);
+    RowBuilder& operator<<(double v);
+    RowBuilder& operator<<(int v);
+    RowBuilder& operator<<(long long v);
+    RowBuilder& operator<<(unsigned long long v);
+    ~RowBuilder();
+
+   private:
+    Table& table_;
+    std::vector<std::string> row_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Print aligned to stdout with a title line.
+  void print(const std::string& title) const;
+
+  /// Write as CSV.
+  void writeCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,66 @@
+#pragma once
+
+// Fundamental scalar and index types used throughout tsunamigen.
+//
+// The solver state has nine quantities per point:
+//   q = (sigma_xx, sigma_yy, sigma_zz, sigma_xy, sigma_yz, sigma_xz,
+//        v_x, v_y, v_z)
+// Acoustic media are embedded in the same state vector with mu = 0,
+// lambda = K and sigma_ij = -p delta_ij (paper Sec. 4.1).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tsg {
+
+using real = double;
+
+/// Number of quantities of the unified elastic/acoustic system.
+inline constexpr int kNumQuantities = 9;
+
+/// Indices into the state vector.
+enum Quantity : int {
+  kSxx = 0,
+  kSyy = 1,
+  kSzz = 2,
+  kSxy = 3,
+  kSyz = 4,
+  kSxz = 5,
+  kVx = 6,
+  kVy = 7,
+  kVz = 8,
+};
+
+/// Number of Dubiner basis functions for polynomial degree N.
+constexpr int basisSize(int degree) {
+  return (degree + 1) * (degree + 2) * (degree + 3) / 6;
+}
+
+/// Number of 2D (triangle) basis functions for polynomial degree N.
+constexpr int basisSize2(int degree) { return (degree + 1) * (degree + 2) / 2; }
+
+/// Maximum polynomial degree supported at runtime.
+inline constexpr int kMaxDegree = 5;
+
+using Vec3 = std::array<real, 3>;
+
+inline Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+inline Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+inline Vec3 operator*(real s, const Vec3& a) {
+  return {s * a[0], s * a[1], s * a[2]};
+}
+inline real dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+inline real norm2(const Vec3& a) { return dot(a, a); }
+
+}  // namespace tsg

@@ -1,0 +1,34 @@
+#include "geometry/dual_graph.hpp"
+
+namespace tsg {
+
+DualGraph buildDualGraph(const Mesh& mesh) {
+  DualGraph g;
+  const int n = mesh.numElements();
+  g.adjOffsets.assign(n + 1, 0);
+  for (int elem = 0; elem < n; ++elem) {
+    for (int f = 0; f < 4; ++f) {
+      if (mesh.faces[elem][f].neighbor >= 0) {
+        ++g.adjOffsets[elem + 1];
+      }
+    }
+  }
+  for (int elem = 0; elem < n; ++elem) {
+    g.adjOffsets[elem + 1] += g.adjOffsets[elem];
+  }
+  g.adjacency.resize(g.adjOffsets[n]);
+  std::vector<int> cursor(g.adjOffsets.begin(), g.adjOffsets.end() - 1);
+  for (int elem = 0; elem < n; ++elem) {
+    for (int f = 0; f < 4; ++f) {
+      const int nb = mesh.faces[elem][f].neighbor;
+      if (nb >= 0) {
+        g.adjacency[cursor[elem]++] = nb;
+      }
+    }
+  }
+  g.vertexWeights.assign(n, 1);
+  g.edgeWeights.assign(g.adjacency.size(), 1);
+  return g;
+}
+
+}  // namespace tsg

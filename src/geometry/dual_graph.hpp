@@ -1,0 +1,27 @@
+#pragma once
+
+// Dual graph of a tetrahedral mesh: one vertex per element, one edge per
+// interior face (paper Sec. 5.3).  Vertex and edge weights model
+// computation and communication cost for the partitioner.
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/mesh.hpp"
+
+namespace tsg {
+
+struct DualGraph {
+  // CSR adjacency.
+  std::vector<int> adjOffsets;
+  std::vector<int> adjacency;
+  std::vector<std::int64_t> vertexWeights;
+  std::vector<std::int64_t> edgeWeights;  // parallel to `adjacency`
+
+  int numVertices() const { return static_cast<int>(adjOffsets.size()) - 1; }
+};
+
+/// Build the dual graph with unit weights.
+DualGraph buildDualGraph(const Mesh& mesh);
+
+}  // namespace tsg

@@ -1,0 +1,205 @@
+#include "geometry/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "geometry/reference_tet.hpp"
+
+namespace tsg {
+
+namespace {
+
+const std::array<std::array<int, 3>, 6> kPerms = {{
+    {0, 1, 2},
+    {0, 2, 1},
+    {1, 0, 2},
+    {1, 2, 0},
+    {2, 0, 1},
+    {2, 1, 0},
+}};
+
+real det3(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return dot(a, cross(b, c));
+}
+
+}  // namespace
+
+const std::array<int, 3>& permutation3(int code) { return kPerms[code]; }
+
+int permutation3Code(const std::array<int, 3>& sigma) {
+  for (int i = 0; i < 6; ++i) {
+    if (kPerms[i] == sigma) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+std::array<Vec3, 3> Mesh::jacobianColumns(int elem) const {
+  const auto& e = elements[elem];
+  const Vec3& v0 = vertices[e.vertices[0]];
+  return {vertices[e.vertices[1]] - v0, vertices[e.vertices[2]] - v0,
+          vertices[e.vertices[3]] - v0};
+}
+
+real Mesh::volume(int elem) const {
+  const auto j = jacobianColumns(elem);
+  return det3(j[0], j[1], j[2]) / 6.0;
+}
+
+Vec3 Mesh::centroid(int elem) const {
+  const auto& e = elements[elem];
+  Vec3 c{0, 0, 0};
+  for (int v : e.vertices) {
+    c = c + vertices[v];
+  }
+  return 0.25 * c;
+}
+
+std::array<int, 3> Mesh::faceVertices(int elem, int f) const {
+  const auto& e = elements[elem];
+  const auto& fv = kRefFaceVertices[f];
+  return {e.vertices[fv[0]], e.vertices[fv[1]], e.vertices[fv[2]]};
+}
+
+Vec3 Mesh::faceNormal(int elem, int f) const {
+  const auto fv = faceVertices(elem, f);
+  const Vec3& a = vertices[fv[0]];
+  const Vec3 n = cross(vertices[fv[1]] - a, vertices[fv[2]] - a);
+  const real len = std::sqrt(norm2(n));
+  return {n[0] / len, n[1] / len, n[2] / len};
+}
+
+real Mesh::faceArea(int elem, int f) const {
+  const auto fv = faceVertices(elem, f);
+  const Vec3& a = vertices[fv[0]];
+  const Vec3 n = cross(vertices[fv[1]] - a, vertices[fv[2]] - a);
+  return 0.5 * std::sqrt(norm2(n));
+}
+
+Vec3 Mesh::faceCentroid(int elem, int f) const {
+  const auto fv = faceVertices(elem, f);
+  const Vec3 s = vertices[fv[0]] + vertices[fv[1]] + vertices[fv[2]];
+  return (1.0 / 3.0) * s;
+}
+
+real Mesh::insphereDiameter(int elem) const {
+  real area = 0;
+  for (int f = 0; f < 4; ++f) {
+    area += faceArea(elem, f);
+  }
+  return 6.0 * volume(elem) / area;
+}
+
+Vec3 Mesh::toPhysical(int elem, const Vec3& xi) const {
+  const auto& e = elements[elem];
+  const Vec3& v0 = vertices[e.vertices[0]];
+  const auto j = jacobianColumns(elem);
+  return v0 + xi[0] * j[0] + xi[1] * j[1] + xi[2] * j[2];
+}
+
+Vec3 Mesh::toReference(int elem, const Vec3& x) const {
+  const auto& e = elements[elem];
+  const auto j = jacobianColumns(elem);
+  const Vec3 rhs = x - vertices[e.vertices[0]];
+  const real d = det3(j[0], j[1], j[2]);
+  // Cramer's rule.
+  return {det3(rhs, j[1], j[2]) / d, det3(j[0], rhs, j[2]) / d,
+          det3(j[0], j[1], rhs) / d};
+}
+
+void Mesh::fixOrientation() {
+  for (auto& e : elements) {
+    const Vec3& v0 = vertices[e.vertices[0]];
+    const Vec3 a = vertices[e.vertices[1]] - v0;
+    const Vec3 b = vertices[e.vertices[2]] - v0;
+    const Vec3 c = vertices[e.vertices[3]] - v0;
+    if (det3(a, b, c) < 0) {
+      std::swap(e.vertices[2], e.vertices[3]);
+    }
+  }
+}
+
+void Mesh::buildConnectivity(BoundaryType defaultBc) {
+  faces.assign(elements.size(), {});
+  std::map<std::array<int, 3>, std::pair<int, int>> open;  // sorted triple -> (elem, face)
+  for (int elem = 0; elem < numElements(); ++elem) {
+    for (int f = 0; f < 4; ++f) {
+      auto fv = faceVertices(elem, f);
+      std::array<int, 3> key = fv;
+      std::sort(key.begin(), key.end());
+      auto it = open.find(key);
+      if (it == open.end()) {
+        open.emplace(key, std::make_pair(elem, f));
+        continue;
+      }
+      const auto [other, otherFace] = it->second;
+      open.erase(it);
+      const auto ov = faceVertices(other, otherFace);
+      // sigma with ov[sigma[i]] == fv_other_side[i] for each side.
+      std::array<int, 3> sigmaHere{};   // maps own index -> neighbor index
+      std::array<int, 3> sigmaThere{};  // maps neighbor index -> own index
+      for (int i = 0; i < 3; ++i) {
+        for (int k = 0; k < 3; ++k) {
+          if (ov[k] == fv[i]) {
+            sigmaHere[i] = k;
+          }
+          if (fv[k] == ov[i]) {
+            sigmaThere[i] = k;
+          }
+        }
+      }
+      faces[elem][f].neighbor = other;
+      faces[elem][f].neighborFace = otherFace;
+      faces[elem][f].permutation = permutation3Code(sigmaHere);
+      faces[elem][f].bc = BoundaryType::kInterior;
+      faces[other][otherFace].neighbor = elem;
+      faces[other][otherFace].neighborFace = f;
+      faces[other][otherFace].permutation = permutation3Code(sigmaThere);
+      faces[other][otherFace].bc = BoundaryType::kInterior;
+    }
+  }
+  for (const auto& [key, ef] : open) {
+    (void)key;
+    faces[ef.first][ef.second].bc = defaultBc;
+  }
+}
+
+std::string Mesh::validate() const {
+  for (int elem = 0; elem < numElements(); ++elem) {
+    if (volume(elem) <= 0) {
+      return "non-positive volume in element " + std::to_string(elem);
+    }
+    for (int f = 0; f < 4; ++f) {
+      const FaceInfo& info = faces[elem][f];
+      if (info.neighbor < 0) {
+        if (info.bc == BoundaryType::kInterior ||
+            info.bc == BoundaryType::kDynamicRupture) {
+          return "boundary face with interior bc at element " +
+                 std::to_string(elem);
+        }
+        continue;
+      }
+      const FaceInfo& back = faces[info.neighbor][info.neighborFace];
+      if (back.neighbor != elem || back.neighborFace != f) {
+        return "asymmetric connectivity at element " + std::to_string(elem);
+      }
+      if (info.bc != back.bc) {
+        return "inconsistent interior bc at element " + std::to_string(elem);
+      }
+      const auto own = faceVertices(elem, f);
+      const auto nb = faceVertices(info.neighbor, info.neighborFace);
+      const auto& sigma = permutation3(info.permutation);
+      for (int i = 0; i < 3; ++i) {
+        if (nb[sigma[i]] != own[i]) {
+          return "permutation mismatch at element " + std::to_string(elem);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace tsg

@@ -1,0 +1,95 @@
+#pragma once
+
+// Conforming unstructured tetrahedral mesh.
+//
+// Elements carry a material id, faces carry boundary conditions; interior
+// faces store the neighbour element, the neighbour's local face index and
+// the vertex-correspondence permutation needed to match quadrature points
+// across the face (paper Sec. 4.1: conforming meshes, element-wise
+// constant Jacobians).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+enum class BoundaryType : std::uint8_t {
+  kInterior = 0,
+  kFreeSurface,         // traction-free (Earth's surface without ocean)
+  kGravityFreeSurface,  // ocean surface with gravitational restoring (Eq. 6/7)
+  kAbsorbing,           // first-order outflow
+  kRigidWall,           // free-slip wall: zero normal velocity
+  kDynamicRupture,      // frictional fault interface (interior)
+};
+
+struct FaceInfo {
+  int neighbor = -1;       // neighbouring element, -1 at domain boundary
+  int neighborFace = -1;   // local face index on the neighbour
+  int permutation = -1;    // sigma with neighborFaceVertex[sigma[i]] == ownFaceVertex[i]
+  BoundaryType bc = BoundaryType::kInterior;
+};
+
+struct Element {
+  std::array<int, 4> vertices;
+  int material = 0;
+};
+
+class Mesh {
+ public:
+  std::vector<Vec3> vertices;
+  std::vector<Element> elements;
+  std::vector<std::array<FaceInfo, 4>> faces;
+
+  int numElements() const { return static_cast<int>(elements.size()); }
+
+  /// Columns of the affine map x = v0 + J xi.
+  std::array<Vec3, 3> jacobianColumns(int elem) const;
+
+  real volume(int elem) const;
+
+  Vec3 centroid(int elem) const;
+
+  /// Outward unit normal of local face f (constant: straight elements).
+  Vec3 faceNormal(int elem, int f) const;
+
+  real faceArea(int elem, int f) const;
+
+  Vec3 faceCentroid(int elem, int f) const;
+
+  /// Diameter of the inscribed sphere, 6 V / (total face area); this is the
+  /// `h` in the CFL bound (27).
+  real insphereDiameter(int elem) const;
+
+  /// Physical location of reference coordinates xi in element `elem`.
+  Vec3 toPhysical(int elem, const Vec3& xi) const;
+
+  /// Reference coordinates of physical point x in element `elem`.
+  Vec3 toReference(int elem, const Vec3& x) const;
+
+  /// Ordered global vertex ids of local face f of element `elem`.
+  std::array<int, 3> faceVertices(int elem, int f) const;
+
+  /// Establish neighbour/permutation info from shared vertex triples and
+  /// tag remaining faces with the given default boundary condition.
+  /// Must be called after filling `vertices` and `elements`.
+  void buildConnectivity(BoundaryType defaultBc = BoundaryType::kAbsorbing);
+
+  /// Ensure every element has positive orientation (det J > 0), swapping
+  /// vertices 2 and 3 where necessary.  Call before buildConnectivity.
+  void fixOrientation();
+
+  /// Sanity checks: conformity, permutation consistency, positive volumes.
+  /// Returns an empty string if OK, else a description of the first issue.
+  std::string validate() const;
+};
+
+/// Permutation encoding: index into the 6 permutations of {0,1,2} in
+/// lexicographic order.
+const std::array<int, 3>& permutation3(int code);
+int permutation3Code(const std::array<int, 3>& sigma);
+
+}  // namespace tsg

@@ -1,0 +1,181 @@
+#include "geometry/mesh_builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsg {
+
+std::vector<real> gradedLine(real lo, real hi, real focus, real fineSpacing,
+                             real coarseSpacing, real growthFactor) {
+  assert(lo < hi && fineSpacing > 0 && coarseSpacing >= fineSpacing);
+  focus = std::clamp(focus, lo, hi);
+  // Walk outward from the focus in both directions with geometrically
+  // growing spacing, then merge.
+  auto walk = [&](real from, real to, real dir) {
+    std::vector<real> pts;
+    real x = from;
+    real h = fineSpacing;
+    while ((to - x) * dir > 1e-12 * (hi - lo)) {
+      x += dir * h;
+      if ((to - x) * dir < 0.25 * h) {
+        x = to;
+      }
+      pts.push_back(x);
+      h = std::min(h * growthFactor, coarseSpacing);
+    }
+    if (pts.empty() || std::abs(pts.back() - to) > 1e-12 * (hi - lo)) {
+      pts.push_back(to);
+    }
+    return pts;
+  };
+  std::vector<real> line;
+  const auto down = walk(focus, lo, -1.0);
+  line.insert(line.end(), down.rbegin(), down.rend());
+  line.push_back(focus);
+  const auto up = walk(focus, hi, 1.0);
+  line.insert(line.end(), up.begin(), up.end());
+  // Deduplicate (focus may coincide with an endpoint).
+  std::vector<real> out;
+  for (real v : line) {
+    if (out.empty() || v - out.back() > 1e-12 * (hi - lo)) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<real> uniformLine(real lo, real hi, int cells) {
+  assert(cells >= 1);
+  std::vector<real> line(cells + 1);
+  for (int i = 0; i <= cells; ++i) {
+    line[i] = lo + (hi - lo) * static_cast<real>(i) / cells;
+  }
+  return line;
+}
+
+std::vector<real> lineUniformGraded(real lo, real uniformLo, real uniformHi,
+                                    real hi, real h, real growth,
+                                    real maxSpacing) {
+  assert(lo <= uniformLo && uniformLo < uniformHi && uniformHi <= hi && h > 0);
+  const int cells = std::max(1, static_cast<int>(
+                                    std::round((uniformHi - uniformLo) / h)));
+  std::vector<real> line = uniformLine(uniformLo, uniformHi, cells);
+  auto extend = [&](real from, real to, real dir) {
+    std::vector<real> pts;
+    real x = from;
+    real step = h;
+    while ((to - x) * dir > 1e-9 * (hi - lo + 1)) {
+      step = std::min(step * growth, maxSpacing);
+      x += dir * step;
+      if ((to - x) * dir < 0.3 * step) {
+        x = to;
+      }
+      pts.push_back(x);
+    }
+    return pts;
+  };
+  const auto below = extend(uniformLo, lo, -1.0);
+  const auto above = extend(uniformHi, hi, 1.0);
+  std::vector<real> out(below.rbegin(), below.rend());
+  out.insert(out.end(), line.begin(), line.end());
+  out.insert(out.end(), above.begin(), above.end());
+  return out;
+}
+
+Mesh buildBoxMesh(const BoxMeshSpec& spec) {
+  const int nx = static_cast<int>(spec.xLines.size()) - 1;
+  const int ny = static_cast<int>(spec.yLines.size()) - 1;
+  const int nz = static_cast<int>(spec.zLines.size()) - 1;
+  if (nx < 1 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("buildBoxMesh: need at least one cell per axis");
+  }
+
+  Mesh mesh;
+  mesh.vertices.resize(static_cast<std::size_t>(nx + 1) * (ny + 1) * (nz + 1));
+  auto vid = [&](int i, int j, int k) {
+    return (k * (ny + 1) + j) * (nx + 1) + i;
+  };
+  for (int k = 0; k <= nz; ++k) {
+    for (int j = 0; j <= ny; ++j) {
+      for (int i = 0; i <= nx; ++i) {
+        const real x = spec.xLines[i];
+        const real y = spec.yLines[j];
+        real z = spec.zLines[k];
+        if (spec.deformZ) {
+          z = spec.deformZ(x, y, z);
+        }
+        mesh.vertices[vid(i, j, k)] = {x, y, z};
+      }
+    }
+  }
+
+  // Kuhn triangulation: the six permutations of (x, y, z) steps define six
+  // tetrahedra per cell, conforming across cell boundaries.
+  const std::array<std::array<int, 3>, 6> perms = {{
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+  }};
+  mesh.elements.reserve(static_cast<std::size_t>(nx) * ny * nz * 6);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        for (const auto& perm : perms) {
+          std::array<int, 3> at = {i, j, k};
+          Element e;
+          e.vertices[0] = vid(at[0], at[1], at[2]);
+          for (int s = 0; s < 3; ++s) {
+            ++at[perm[s]];
+            e.vertices[s + 1] = vid(at[0], at[1], at[2]);
+          }
+          mesh.elements.push_back(e);
+        }
+      }
+    }
+  }
+
+  mesh.fixOrientation();
+  mesh.buildConnectivity(BoundaryType::kAbsorbing);
+
+  if (spec.material) {
+    for (int elem = 0; elem < mesh.numElements(); ++elem) {
+      mesh.elements[elem].material = spec.material(mesh.centroid(elem));
+    }
+  }
+  for (int elem = 0; elem < mesh.numElements(); ++elem) {
+    for (int f = 0; f < 4; ++f) {
+      FaceInfo& info = mesh.faces[elem][f];
+      if (info.neighbor < 0) {
+        if (spec.boundary) {
+          info.bc =
+              spec.boundary(mesh.faceCentroid(elem, f), mesh.faceNormal(elem, f));
+        }
+      } else if (spec.faultFace &&
+                 spec.faultFace(mesh.faceCentroid(elem, f),
+                                mesh.faceNormal(elem, f))) {
+        info.bc = BoundaryType::kDynamicRupture;
+        mesh.faces[info.neighbor][info.neighborFace].bc =
+            BoundaryType::kDynamicRupture;
+      }
+    }
+  }
+  return mesh;
+}
+
+std::function<real(real, real, real)> bathymetryDeformation(
+    real zBottom, real refSeafloor, real zTop,
+    std::function<real(real, real)> bathymetry) {
+  return [=](real x, real y, real z) {
+    const real b = bathymetry(x, y);
+    if (z <= refSeafloor) {
+      // Stretch [zBottom, refSeafloor] onto [zBottom, b].
+      const real t = (z - zBottom) / (refSeafloor - zBottom);
+      return zBottom + t * (b - zBottom);
+    }
+    // Stretch [refSeafloor, zTop] onto [b, zTop].
+    const real t = (z - refSeafloor) / (zTop - refSeafloor);
+    return b + t * (zTop - b);
+  };
+}
+
+}  // namespace tsg

@@ -1,0 +1,18 @@
+#include "geometry/reference_tet.hpp"
+
+namespace tsg {
+
+Vec3 refFacePoint(int f, real s, real t) {
+  return refFacePointBary(f, 1.0 - s - t, s, t);
+}
+
+Vec3 refFacePointBary(int f, real l0, real l1, real l2) {
+  const auto& fv = kRefFaceVertices[f];
+  const Vec3& a = kRefVertices[fv[0]];
+  const Vec3& b = kRefVertices[fv[1]];
+  const Vec3& c = kRefVertices[fv[2]];
+  return {l0 * a[0] + l1 * b[0] + l2 * c[0], l0 * a[1] + l1 * b[1] + l2 * c[1],
+          l0 * a[2] + l1 * b[2] + l2 * c[2]};
+}
+
+}  // namespace tsg

@@ -1,0 +1,41 @@
+#pragma once
+
+// Reference tetrahedron conventions.
+//
+// Vertices: v0=(0,0,0), v1=(1,0,0), v2=(0,1,0), v3=(0,0,1).
+// Faces are ordered lists of local vertex indices whose right-handed
+// orientation yields the outward normal:
+//   face 0: (0,2,1), normal (0,0,-1)   [zeta = 0]
+//   face 1: (0,1,3), normal (0,-1,0)   [eta = 0]
+//   face 2: (0,3,2), normal (-1,0,0)   [xi = 0]
+//   face 3: (1,2,3), normal (1,1,1)/sqrt(3)
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+inline constexpr std::array<std::array<int, 3>, 4> kRefFaceVertices = {{
+    {0, 2, 1},
+    {0, 1, 3},
+    {0, 3, 2},
+    {1, 2, 3},
+}};
+
+inline constexpr std::array<Vec3, 4> kRefVertices = {{
+    {0.0, 0.0, 0.0},
+    {1.0, 0.0, 0.0},
+    {0.0, 1.0, 0.0},
+    {0.0, 0.0, 1.0},
+}};
+
+/// Map reference-triangle coordinates (s, t) on local face `f` into
+/// reference tetrahedron coordinates.
+Vec3 refFacePoint(int f, real s, real t);
+
+/// Map barycentric coordinates (l0, l1, l2) w.r.t. the ordered vertices of
+/// local face `f` into reference tetrahedron coordinates.
+Vec3 refFacePointBary(int f, real l0, real l1, real l2);
+
+}  // namespace tsg

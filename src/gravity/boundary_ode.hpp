@@ -1,0 +1,41 @@
+#pragma once
+
+// High-order time integrator for the gravitational free-surface ODE
+// (paper Eqs. 23-26):
+//   d eta / dt = v_n^-(t) + p^-(t)/Z - (rho g / Z) eta,
+//   d H   / dt = eta,                H(t_n) = 0.
+//
+// The paper integrates this with Verner's "most efficient" order-7
+// Runge-Kutta scheme.  Verner's tableau is not given in the paper; we
+// substitute a Gragg-Bulirsch-Stoer extrapolation of the modified midpoint
+// rule with 4 levels, which is of order 8 (>= the paper's order 7) --
+// verified by a convergence test.  For the special linear-with-polynomial-
+// forcing structure of the boundary ODE we additionally provide the exact
+// exponential-integrator solution, used to cross-check the extrapolation
+// integrator in the test suite.
+
+#include <array>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+using Ode2Rhs =
+    std::function<std::array<real, 2>(real t, const std::array<real, 2>& y)>;
+
+/// Integrate y' = f(t, y) from t = 0 to t = dt in one extrapolation
+/// macro-step with `levels` midpoint sequences (order 2*levels).
+std::array<real, 2> integrateBoundaryOde(const Ode2Rhs& rhs,
+                                         const std::array<real, 2>& y0, real dt,
+                                         int levels = 4);
+
+/// Exact solution of eta' = a(t) - b*eta, H' = eta with H(0) = 0, where
+/// a(t) = sum_k coeff[k] t^k / k! is the Taylor forcing (degree <= n).
+/// Returns {eta(dt), H(dt)}.  Uses a series formulation of the phi
+/// functions, stable for the tiny b*dt of ocean surfaces (b = g/c_p).
+std::array<real, 2> exactLinearBoundaryOde(const real* taylorCoeffs,
+                                           int degree, real b, real eta0,
+                                           real dt);
+
+}  // namespace tsg

@@ -1,0 +1,74 @@
+#pragma once
+
+// Gravitational free-surface boundary (paper Sec. 4.3).
+//
+// The sea-surface displacement eta lives at the face quadrature points of
+// every ocean-top face.  Per timestep the coupled ODE system (24) is
+// integrated with the element's space-time predictor as forcing, giving
+// both eta^{n+1} and the time integral H needed for the time-integrated
+// boundary state (26).  The resulting Godunov boundary flux in the global
+// frame is assembled per quadrature point:
+//   flux = (-K d_eta, -K d_eta, -K d_eta, 0, 0, 0, g H n_x, g H n_y, g H n_z),
+// where d_eta = eta^{n+1} - eta^n; this follows from w^b = (rho g H on the
+// pressure slot, d_eta on the normal-velocity slot) and flux = T A^- w^b.
+
+#include <functional>
+#include <vector>
+
+#include "geometry/mesh.hpp"
+#include "kernels/reference_matrices.hpp"
+#include "physics/material.hpp"
+
+namespace tsg {
+
+struct SurfaceSample {
+  real x, y;
+  real eta;
+};
+
+struct GravityFace {
+  int elem = -1;
+  int face = -1;
+  real bulkModulus = 0;
+  real rho = 0;
+  real impedance = 0;  // Z = rho c_p
+  Vec3 normal{};
+  std::vector<real> eta;        // [nq]
+  std::vector<real> qpX, qpY;   // physical coordinates of quadrature points
+};
+
+class GravityBoundary {
+ public:
+  GravityBoundary(int degree, real gravity);
+
+  /// Register an ocean-top face; the element must be acoustic.
+  int addFace(const Mesh& mesh, int elem, int face, const Material& mat);
+
+  int numFaces() const { return static_cast<int>(faces_.size()); }
+  const GravityFace& faceAt(int i) const { return faces_[i]; }
+
+  /// Advance eta over [0, dt] using the element's derivative stack and
+  /// write the time-integrated global-frame flux (nq x 9) to fluxQP.
+  /// `scratch` must hold (degree+1) * nq * 9 reals.
+  void computeFlux(int i, const ReferenceMatrices& rm, const real* stack,
+                   real dt, real* fluxQP, real* scratch);
+
+  /// Initialise the sea-surface displacement field (e.g. a standing-wave
+  /// test or a prescribed initial hump).
+  void setEta(const std::function<real(real x, real y)>& f);
+
+  /// All sea-surface samples (quadrature-point resolution).
+  std::vector<SurfaceSample> allSamples() const;
+
+  /// eta at the sample nearest to (x, y); 0 if no faces registered.
+  real sampleEtaNearest(real x, real y) const;
+
+  real gravity() const { return gravity_; }
+
+ private:
+  int degree_;
+  real gravity_;
+  std::vector<GravityFace> faces_;
+};
+
+}  // namespace tsg

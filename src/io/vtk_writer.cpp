@@ -1,0 +1,102 @@
+#include "io/vtk_writer.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace tsg {
+
+namespace {
+
+void writeHeader(std::ofstream& out, const std::string& title) {
+  out << "# vtk DataFile Version 3.0\n" << title << "\nASCII\n";
+}
+
+void writeTetGrid(std::ofstream& out, const Mesh& mesh) {
+  out << "DATASET UNSTRUCTURED_GRID\n";
+  out << "POINTS " << mesh.vertices.size() << " double\n";
+  for (const auto& v : mesh.vertices) {
+    out << v[0] << " " << v[1] << " " << v[2] << "\n";
+  }
+  const int n = mesh.numElements();
+  out << "CELLS " << n << " " << 5 * n << "\n";
+  for (const auto& e : mesh.elements) {
+    out << "4 " << e.vertices[0] << " " << e.vertices[1] << " "
+        << e.vertices[2] << " " << e.vertices[3] << "\n";
+  }
+  out << "CELL_TYPES " << n << "\n";
+  for (int i = 0; i < n; ++i) {
+    out << "10\n";  // VTK_TETRA
+  }
+}
+
+}  // namespace
+
+void writeVtkMesh(const std::string& path, const Mesh& mesh,
+                  const std::map<std::string, std::vector<real>>& cellData) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("writeVtkMesh: cannot open " + path);
+  }
+  writeHeader(out, "tsunamigen mesh");
+  writeTetGrid(out, mesh);
+  if (!cellData.empty()) {
+    out << "CELL_DATA " << mesh.numElements() << "\n";
+    for (const auto& [name, values] : cellData) {
+      if (static_cast<int>(values.size()) != mesh.numElements()) {
+        throw std::invalid_argument("writeVtkMesh: field size mismatch: " +
+                                    name);
+      }
+      out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+      for (real v : values) {
+        out << v << "\n";
+      }
+    }
+  }
+}
+
+void writeVtkWavefield(const std::string& path, const Simulation& sim) {
+  static const char* kNames[kNumQuantities] = {
+      "sxx", "syy", "szz", "sxy", "syz", "sxz", "vx", "vy", "vz"};
+  const Mesh& mesh = sim.mesh();
+  std::map<std::string, std::vector<real>> fields;
+  for (int q = 0; q < kNumQuantities; ++q) {
+    fields[kNames[q]].resize(mesh.numElements());
+  }
+  auto& pressure = fields["pressure"];
+  pressure.resize(mesh.numElements());
+  const Vec3 centroidXi{0.25, 0.25, 0.25};
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    const auto v = sim.evaluate(e, centroidXi);
+    for (int q = 0; q < kNumQuantities; ++q) {
+      fields[kNames[q]][e] = v[q];
+    }
+    pressure[e] = -(v[kSxx] + v[kSyy] + v[kSzz]) / 3.0;
+  }
+  writeVtkMesh(path, mesh, fields);
+}
+
+void writeVtkSurface(const std::string& path,
+                     const std::vector<SurfaceSample>& samples) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("writeVtkSurface: cannot open " + path);
+  }
+  writeHeader(out, "tsunamigen sea surface");
+  out << "DATASET POLYDATA\n";
+  out << "POINTS " << samples.size() << " double\n";
+  for (const auto& s : samples) {
+    out << s.x << " " << s.y << " " << s.eta << "\n";
+  }
+  out << "VERTICES " << samples.size() << " " << 2 * samples.size() << "\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out << "1 " << i << "\n";
+  }
+  out << "POINT_DATA " << samples.size() << "\n";
+  out << "SCALARS eta double 1\nLOOKUP_TABLE default\n";
+  for (const auto& s : samples) {
+    out << s.eta << "\n";
+  }
+}
+
+}  // namespace tsg

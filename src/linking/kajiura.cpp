@@ -1,0 +1,121 @@
+#include "linking/kajiura.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsg {
+
+void fft(std::vector<std::complex<real>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(a[i], a[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const real angle = 2 * M_PI / static_cast<real>(len) * (inverse ? 1 : -1);
+    const std::complex<real> wl(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<real> w(1);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<real> u = a[i + k];
+        const std::complex<real> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) {
+      x /= static_cast<real>(n);
+    }
+  }
+}
+
+namespace {
+
+std::size_t nextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// 2D FFT on a row-major px x py grid (in place).
+void fft2(std::vector<std::complex<real>>& a, std::size_t px, std::size_t py,
+          bool inverse) {
+  std::vector<std::complex<real>> line;
+  line.resize(px);
+  for (std::size_t j = 0; j < py; ++j) {
+    for (std::size_t i = 0; i < px; ++i) {
+      line[i] = a[j * px + i];
+    }
+    fft(line, inverse);
+    for (std::size_t i = 0; i < px; ++i) {
+      a[j * px + i] = line[i];
+    }
+  }
+  line.resize(py);
+  for (std::size_t i = 0; i < px; ++i) {
+    for (std::size_t j = 0; j < py; ++j) {
+      line[j] = a[j * px + i];
+    }
+    fft(line, inverse);
+    for (std::size_t j = 0; j < py; ++j) {
+      a[j * px + i] = line[j];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<real> kajiuraFilter(const std::vector<real>& field, int nx, int ny,
+                                real dx, real dy, real depth) {
+  assert(static_cast<int>(field.size()) == nx * ny);
+  // Zero-pad to a power of two with a margin so the periodic wrap-around
+  // of the FFT does not contaminate the physical window.
+  const std::size_t px = nextPow2(static_cast<std::size_t>(nx) * 2);
+  const std::size_t py = nextPow2(static_cast<std::size_t>(ny) * 2);
+  std::vector<std::complex<real>> a(px * py, 0);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      a[static_cast<std::size_t>(j) * px + i] = field[j * nx + i];
+    }
+  }
+  fft2(a, px, py, false);
+  for (std::size_t j = 0; j < py; ++j) {
+    const real kyIdx = (j <= py / 2) ? static_cast<real>(j)
+                                     : static_cast<real>(j) - static_cast<real>(py);
+    const real ky = 2 * M_PI * kyIdx / (static_cast<real>(py) * dy);
+    for (std::size_t i = 0; i < px; ++i) {
+      const real kxIdx = (i <= px / 2)
+                             ? static_cast<real>(i)
+                             : static_cast<real>(i) - static_cast<real>(px);
+      const real kx = 2 * M_PI * kxIdx / (static_cast<real>(px) * dx);
+      const real k = std::sqrt(kx * kx + ky * ky);
+      const real kh = k * depth;
+      // 1/cosh decays fast; clamp the exponent for numerical safety.
+      const real gain = kh < 700 ? 1.0 / std::cosh(kh) : 0.0;
+      a[j * px + i] *= gain;
+    }
+  }
+  fft2(a, px, py, true);
+  std::vector<real> out(field.size());
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      out[j * nx + i] = a[static_cast<std::size_t>(j) * px + i].real();
+    }
+  }
+  return out;
+}
+
+}  // namespace tsg

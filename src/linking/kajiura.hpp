@@ -1,0 +1,35 @@
+#pragma once
+
+// Kajiura (1963) seafloor-to-surface transfer and the classic
+// instantaneous-source linking mode.
+//
+// The paper (Secs. 2, 6.2) contrasts its fully coupled model with the
+// standard practice: "the long-wavelength components of the seafloor
+// uplift are then assumed to instantaneously uplift the water column".
+// The physically correct transfer of a static seafloor displacement to
+// the initial sea surface is the Kajiura low-pass
+//     eta_hat(k) = uplift_hat(k) / cosh(|k| h),
+// which removes the short wavelengths a water column of depth h cannot
+// transmit -- exactly the non-hydrostatic smoothing the paper observes in
+// its coupled wavefields (Fig. 5 discussion).
+//
+// Implemented with a radix-2 FFT on a zero-padded grid.
+
+#include <complex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+/// In-place radix-2 complex FFT; size must be a power of two.
+void fft(std::vector<std::complex<real>>& a, bool inverse);
+
+/// Apply the Kajiura filter 1/cosh(|k| depth) to a field sampled on a
+/// uniform nx x ny grid with spacings dx, dy (row-major, j * nx + i).
+/// `depth` may vary per cell; the filter uses its mean (standard
+/// practice for mildly varying bathymetry).
+std::vector<real> kajiuraFilter(const std::vector<real>& field, int nx, int ny,
+                                real dx, real dy, real depth);
+
+}  // namespace tsg

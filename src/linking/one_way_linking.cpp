@@ -1,0 +1,153 @@
+#include "linking/one_way_linking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linking/kajiura.hpp"
+
+namespace tsg {
+
+SeafloorUpliftRecorder::SeafloorUpliftRecorder(int nx, int ny, real x0, real y0,
+                                               real dx, real dy)
+    : nx_(nx), ny_(ny), x0_(x0), y0_(y0), dx_(dx), dy_(dy) {}
+
+void SeafloorUpliftRecorder::recordSnapshot(
+    real t, const std::vector<SeafloorSample>& samples) {
+  std::vector<real> sum(static_cast<std::size_t>(nx_) * ny_, 0.0);
+  std::vector<real> count(sum.size(), 0.0);
+  for (const auto& s : samples) {
+    const int i = static_cast<int>(std::floor((s.x - x0_) / dx_));
+    const int j = static_cast<int>(std::floor((s.y - y0_) / dy_));
+    if (i < 0 || i >= nx_ || j < 0 || j >= ny_) {
+      continue;
+    }
+    sum[j * nx_ + i] += s.uplift;
+    count[j * nx_ + i] += 1.0;
+  }
+  std::vector<real> field(sum.size(), 0.0);
+  std::vector<bool> known(sum.size(), false);
+  for (std::size_t c = 0; c < sum.size(); ++c) {
+    if (count[c] > 0) {
+      field[c] = sum[c] / count[c];
+      known[c] = true;
+    }
+  }
+  // Fill empty cells by repeated neighbour averaging (cheap diffusion; the
+  // 3D interface usually covers the whole grid anyway).
+  for (int pass = 0; pass < nx_ + ny_; ++pass) {
+    bool anyUnknown = false;
+    std::vector<bool> nextKnown = known;
+    for (int j = 0; j < ny_; ++j) {
+      for (int i = 0; i < nx_; ++i) {
+        const int c = j * nx_ + i;
+        if (known[c]) {
+          continue;
+        }
+        real acc = 0;
+        int n = 0;
+        for (const auto [di, dj] :
+             {std::pair{1, 0}, {-1, 0}, {0, 1}, {0, -1}}) {
+          const int ii = i + di, jj = j + dj;
+          if (ii >= 0 && ii < nx_ && jj >= 0 && jj < ny_ &&
+              known[jj * nx_ + ii]) {
+            acc += field[jj * nx_ + ii];
+            ++n;
+          }
+        }
+        if (n > 0) {
+          field[c] = acc / n;
+          nextKnown[c] = true;
+        } else {
+          anyUnknown = true;
+        }
+      }
+    }
+    known = std::move(nextKnown);
+    if (!anyUnknown) {
+      break;
+    }
+  }
+  times_.push_back(t);
+  snapshots_.push_back(std::move(field));
+}
+
+real SeafloorUpliftRecorder::sampleGrid(const std::vector<real>& field, real x,
+                                        real y) const {
+  // Bilinear interpolation on cell centres, clamped at the border.
+  const real fx = (x - x0_) / dx_ - 0.5;
+  const real fy = (y - y0_) / dy_ - 0.5;
+  const int i0 = std::clamp(static_cast<int>(std::floor(fx)), 0, nx_ - 1);
+  const int j0 = std::clamp(static_cast<int>(std::floor(fy)), 0, ny_ - 1);
+  const int i1 = std::min(i0 + 1, nx_ - 1);
+  const int j1 = std::min(j0 + 1, ny_ - 1);
+  const real ax = std::clamp(fx - i0, real(0), real(1));
+  const real ay = std::clamp(fy - j0, real(0), real(1));
+  const real v00 = field[j0 * nx_ + i0];
+  const real v10 = field[j0 * nx_ + i1];
+  const real v01 = field[j1 * nx_ + i0];
+  const real v11 = field[j1 * nx_ + i1];
+  return (1 - ax) * (1 - ay) * v00 + ax * (1 - ay) * v10 +
+         (1 - ax) * ay * v01 + ax * ay * v11;
+}
+
+real SeafloorUpliftRecorder::uplift(real x, real y, real t) const {
+  if (times_.empty()) {
+    return 0;
+  }
+  if (t <= times_.front()) {
+    return sampleGrid(snapshots_.front(), x, y) *
+           (times_.front() > 0 ? std::max(real(0), t / times_.front()) : 1);
+  }
+  if (t >= times_.back()) {
+    return sampleGrid(snapshots_.back(), x, y);
+  }
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const int s1 = static_cast<int>(it - times_.begin());
+  const int s0 = s1 - 1;
+  const real a = (t - times_[s0]) / (times_[s1] - times_[s0]);
+  return (1 - a) * sampleGrid(snapshots_[s0], x, y) +
+         a * sampleGrid(snapshots_[s1], x, y);
+}
+
+real SeafloorUpliftRecorder::finalUplift(real x, real y) const {
+  if (snapshots_.empty()) {
+    return 0;
+  }
+  return sampleGrid(snapshots_.back(), x, y);
+}
+
+std::function<real(real, real, real)> SeafloorUpliftRecorder::bedMotion()
+    const {
+  return [this](real x, real y, real t) { return uplift(x, y, t); };
+}
+
+void applyInstantaneousSource(SweSolver& swe,
+                              const SeafloorUpliftRecorder& recorder,
+                              bool useKajiuraFilter, real waterDepth) {
+  const SweConfig& cfg = swe.config();
+  std::vector<real> uplift(static_cast<std::size_t>(cfg.nx) * cfg.ny);
+  for (int j = 0; j < cfg.ny; ++j) {
+    for (int i = 0; i < cfg.nx; ++i) {
+      uplift[j * cfg.nx + i] =
+          recorder.finalUplift(swe.cellX(i), swe.cellY(j));
+    }
+  }
+  if (useKajiuraFilter) {
+    uplift = kajiuraFilter(uplift, cfg.nx, cfg.ny, cfg.dx, cfg.dy, waterDepth);
+  }
+  swe.addSurfacePerturbation([&](real x, real y) {
+    const int i = std::clamp(
+        static_cast<int>(std::floor((x - cfg.x0) / cfg.dx)), 0, cfg.nx - 1);
+    const int j = std::clamp(
+        static_cast<int>(std::floor((y - cfg.y0) / cfg.dy)), 0, cfg.ny - 1);
+    return uplift[j * cfg.nx + i];
+  });
+}
+
+void SeafloorUpliftRecorder::attachTo(Simulation& sim) {
+  recordSnapshot(sim.time(), sim.seafloor());
+  sim.onMacroStep(
+      [this, &sim](real t) { recordSnapshot(t, sim.seafloor()); });
+}
+
+}  // namespace tsg

@@ -1,0 +1,77 @@
+#pragma once
+
+// One-way linking of the 3D earthquake model to the 2D shallow-water
+// tsunami model (paper Sec. 6.1):
+//
+//   "the seafloor displacement recorded on the unstructured mesh of the
+//    earthquake model is bilinearly interpolated to an intermediate
+//    uniform Cartesian mesh, which is subsequently used as a
+//    time-dependent source in the hydrostatic nonlinear shallow water
+//    tsunami model"
+//
+// The recorder bins the quadrature-point uplift samples of the 3D
+// simulation's elastic-acoustic interface into a uniform grid, keeps a
+// time series of snapshots, and exposes uplift(x, y, t) with bilinear
+// interpolation in space and linear interpolation in time.
+
+#include <functional>
+#include <vector>
+
+#include "solver/simulation.hpp"
+#include "swe/swe_solver.hpp"
+
+namespace tsg {
+
+class SeafloorUpliftRecorder {
+ public:
+  SeafloorUpliftRecorder(int nx, int ny, real x0, real y0, real dx, real dy);
+
+  /// Bin scattered uplift samples into the grid and store as a snapshot at
+  /// time t.  Cells without samples are filled by repeated neighbour
+  /// averaging.
+  void recordSnapshot(real t, const std::vector<SeafloorSample>& samples);
+
+  int numSnapshots() const { return static_cast<int>(times_.size()); }
+  real snapshotTime(int s) const { return times_[s]; }
+
+  /// Bilinear-in-space, linear-in-time uplift; clamps outside the grid /
+  /// time range (holding the last snapshot: the static final uplift).
+  real uplift(real x, real y, real t) const;
+
+  /// Final (static) uplift field value at a point.
+  real finalUplift(real x, real y) const;
+
+  /// Convenience: bed-motion callback for SweSolver::setBedMotion.
+  std::function<real(real, real, real)> bedMotion() const;
+
+  /// Attach to a running 3D simulation: records a snapshot after every
+  /// macro step (and one at t = 0).
+  void attachTo(Simulation& sim);
+
+  /// Grid accessors (for filters and instantaneous sources).
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  real dx() const { return dx_; }
+  real dy() const { return dy_; }
+  real x0() const { return x0_; }
+  real y0() const { return y0_; }
+
+ private:
+  real sampleGrid(const std::vector<real>& field, real x, real y) const;
+
+  int nx_, ny_;
+  real x0_, y0_, dx_, dy_;
+  std::vector<real> times_;
+  std::vector<std::vector<real>> snapshots_;  // [time][cell]
+};
+
+/// Classic instantaneous one-way linking (paper Sec. 2: "the final,
+/// static seafloor uplift is utilized as an initial condition for the
+/// tsunami"): add the recorder's final uplift -- optionally low-passed
+/// with the Kajiura filter 1/cosh(kh) -- as a surface perturbation of a
+/// lake-at-rest shallow-water state.
+void applyInstantaneousSource(SweSolver& swe,
+                              const SeafloorUpliftRecorder& recorder,
+                              bool useKajiuraFilter, real waterDepth);
+
+}  // namespace tsg

@@ -1,0 +1,210 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+#include <random>
+
+namespace tsg {
+
+namespace {
+
+std::vector<real> normalizedTargets(int nparts,
+                                    const std::vector<real>& targetFractions) {
+  std::vector<real> t = targetFractions;
+  if (t.empty()) {
+    t.assign(nparts, 1.0 / nparts);
+  }
+  assert(static_cast<int>(t.size()) == nparts);
+  real sum = 0;
+  for (real v : t) {
+    sum += v;
+  }
+  for (real& v : t) {
+    v /= sum;
+  }
+  return t;
+}
+
+}  // namespace
+
+PartitionResult evaluatePartition(const DualGraph& graph,
+                                  const std::vector<int>& part, int nparts,
+                                  const std::vector<real>& targetFractions) {
+  PartitionResult r;
+  r.part = part;
+  r.partWeights.assign(nparts, 0);
+  const int n = graph.numVertices();
+  std::int64_t total = 0;
+  for (int v = 0; v < n; ++v) {
+    r.partWeights[part[v]] += graph.vertexWeights[v];
+    total += graph.vertexWeights[v];
+  }
+  for (int v = 0; v < n; ++v) {
+    for (int a = graph.adjOffsets[v]; a < graph.adjOffsets[v + 1]; ++a) {
+      const int nb = graph.adjacency[a];
+      if (nb > v && part[nb] != part[v]) {
+        r.edgeCut += graph.edgeWeights[a];
+      }
+    }
+  }
+  const auto t = normalizedTargets(nparts, targetFractions);
+  r.imbalance = 0;
+  for (int p = 0; p < nparts; ++p) {
+    const real target = static_cast<real>(total) * t[p];
+    if (target > 0) {
+      r.imbalance = std::max(r.imbalance, r.partWeights[p] / target);
+    }
+  }
+  return r;
+}
+
+std::vector<std::int64_t> communicationVolume(const DualGraph& graph,
+                                              const std::vector<int>& part,
+                                              int nparts) {
+  std::vector<std::int64_t> vol(nparts, 0);
+  for (int v = 0; v < graph.numVertices(); ++v) {
+    for (int a = graph.adjOffsets[v]; a < graph.adjOffsets[v + 1]; ++a) {
+      const int nb = graph.adjacency[a];
+      if (part[nb] != part[v]) {
+        vol[part[v]] += graph.edgeWeights[a];
+      }
+    }
+  }
+  return vol;
+}
+
+PartitionResult partitionGraph(const DualGraph& graph, int nparts,
+                               const std::vector<real>& targetFractions,
+                               const PartitionOptions& opts) {
+  const int n = graph.numVertices();
+  const auto targets = normalizedTargets(nparts, targetFractions);
+  std::int64_t totalWeight = 0;
+  for (auto w : graph.vertexWeights) {
+    totalWeight += w;
+  }
+
+  std::vector<int> part(n, nparts - 1);
+  std::vector<char> assigned(n, 0);
+  std::mt19937 rng(opts.seed);
+
+  // ---- initial partition: greedy graph growing -------------------------
+  // Grow parts one after another by BFS from an unassigned seed until each
+  // reaches its target weight; remaining vertices go to the last part.
+  int seedHint = 0;
+  for (int p = 0; p < nparts - 1; ++p) {
+    const std::int64_t target =
+        static_cast<std::int64_t>(targets[p] * static_cast<real>(totalWeight));
+    std::int64_t acc = 0;
+    std::deque<int> queue;
+    while (acc < target) {
+      if (queue.empty()) {
+        while (seedHint < n && assigned[seedHint]) {
+          ++seedHint;
+        }
+        if (seedHint == n) {
+          break;
+        }
+        queue.push_back(seedHint);
+        assigned[seedHint] = 1;
+      }
+      const int v = queue.front();
+      queue.pop_front();
+      part[v] = p;
+      acc += graph.vertexWeights[v];
+      for (int a = graph.adjOffsets[v]; a < graph.adjOffsets[v + 1]; ++a) {
+        const int nb = graph.adjacency[a];
+        if (!assigned[nb]) {
+          assigned[nb] = 1;
+          queue.push_back(nb);
+        }
+      }
+    }
+    // Vertices still in the queue were grabbed but not placed: release.
+    for (int v : queue) {
+      assigned[v] = 0;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (!assigned[v]) {
+      part[v] = nparts - 1;
+      assigned[v] = 1;
+    }
+  }
+
+  // ---- FM-style boundary refinement ------------------------------------
+  std::vector<std::int64_t> partWeights(nparts, 0);
+  for (int v = 0; v < n; ++v) {
+    partWeights[part[v]] += graph.vertexWeights[v];
+  }
+  std::vector<std::int64_t> targetWeights(nparts);
+  for (int p = 0; p < nparts; ++p) {
+    targetWeights[p] =
+        static_cast<std::int64_t>(targets[p] * static_cast<real>(totalWeight));
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<std::int64_t> gainTo(nparts, 0);
+  for (int pass = 0; pass < opts.refinementPasses; ++pass) {
+    std::shuffle(order.begin(), order.end(), rng);
+    std::int64_t moves = 0;
+    for (int v : order) {
+      const int from = part[v];
+      // Connectivity of v to each adjacent part.
+      std::int64_t internal = 0;
+      std::vector<int> touched;
+      for (int a = graph.adjOffsets[v]; a < graph.adjOffsets[v + 1]; ++a) {
+        const int p = part[graph.adjacency[a]];
+        if (p == from) {
+          internal += graph.edgeWeights[a];
+        } else {
+          if (gainTo[p] == 0) {
+            touched.push_back(p);
+          }
+          gainTo[p] += graph.edgeWeights[a];
+        }
+      }
+      int best = from;
+      std::int64_t bestGain = 0;
+      real bestBalanceGain = 0;
+      for (int p : touched) {
+        const std::int64_t gain = gainTo[p] - internal;
+        // Balance constraint: moving must not overload the target part.
+        const real newLoad =
+            static_cast<real>(partWeights[p] + graph.vertexWeights[v]) /
+            std::max<real>(1, static_cast<real>(targetWeights[p]));
+        if (newLoad > opts.balanceTolerance) {
+          continue;
+        }
+        const real balanceGain =
+            static_cast<real>(partWeights[from]) /
+                std::max<real>(1, static_cast<real>(targetWeights[from])) -
+            newLoad;
+        if (gain > bestGain ||
+            (gain == bestGain && balanceGain > bestBalanceGain + 1e-12)) {
+          best = p;
+          bestGain = gain;
+          bestBalanceGain = balanceGain;
+        }
+      }
+      for (int p : touched) {
+        gainTo[p] = 0;
+      }
+      if (best != from) {
+        part[v] = best;
+        partWeights[from] -= graph.vertexWeights[v];
+        partWeights[best] += graph.vertexWeights[v];
+        ++moves;
+      }
+    }
+    if (moves == 0) {
+      break;
+    }
+  }
+
+  return evaluatePartition(graph, part, nparts, targetFractions);
+}
+
+}  // namespace tsg

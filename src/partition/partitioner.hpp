@@ -1,0 +1,48 @@
+#pragma once
+
+// Graph partitioner for static load balancing.
+//
+// Substitutes for ParMETIS (see DESIGN.md): greedy graph growing for the
+// initial partition followed by Fiduccia-Mattheyses-style boundary
+// refinement, supporting weighted vertices/edges and per-part target
+// fractions (ParMETIS' `tpwgts`, used by the paper for heterogeneous node
+// weights, Sec. 5.3).
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/dual_graph.hpp"
+
+namespace tsg {
+
+struct PartitionResult {
+  std::vector<int> part;                  // per vertex
+  std::int64_t edgeCut = 0;               // sum of cut edge weights (each
+                                          // undirected edge counted once)
+  std::vector<std::int64_t> partWeights;  // vertex weight per part
+  real imbalance = 0;  // max_p (weight_p / (totalWeight * target_p))
+};
+
+struct PartitionOptions {
+  int refinementPasses = 8;
+  real balanceTolerance = 1.05;  // allowed imbalance during refinement
+  unsigned seed = 12345;
+};
+
+/// Partition into `nparts` parts.  `targetFractions` (empty = uniform)
+/// must sum to ~1 and mirrors ParMETIS' tpwgts.
+PartitionResult partitionGraph(const DualGraph& graph, int nparts,
+                               const std::vector<real>& targetFractions = {},
+                               const PartitionOptions& opts = {});
+
+/// Metrics for an externally supplied partition vector.
+PartitionResult evaluatePartition(const DualGraph& graph,
+                                  const std::vector<int>& part, int nparts,
+                                  const std::vector<real>& targetFractions = {});
+
+/// Total communication volume (cut weight) leaving each part.
+std::vector<std::int64_t> communicationVolume(const DualGraph& graph,
+                                              const std::vector<int>& part,
+                                              int nparts);
+
+}  // namespace tsg

@@ -1,0 +1,42 @@
+#include "partition/weights.hpp"
+
+namespace tsg {
+
+std::vector<std::int64_t> computeVertexWeights(const Mesh& mesh,
+                                               const ClusterLayout& clusters,
+                                               const VertexWeightParams& p) {
+  const int n = mesh.numElements();
+  const int cMax = clusters.numClusters - 1;
+  std::vector<std::int64_t> w(n);
+  for (int e = 0; e < n; ++e) {
+    std::int64_t nDr = 0;
+    std::int64_t nG = 0;
+    for (int f = 0; f < 4; ++f) {
+      const auto& info = mesh.faces[e][f];
+      if (info.bc == BoundaryType::kDynamicRupture) {
+        ++nDr;
+      } else if (info.bc == BoundaryType::kGravityFreeSurface) {
+        ++nG;
+      }
+    }
+    const std::int64_t rate = std::int64_t{1} << (cMax - clusters.cluster[e]);
+    w[e] = rate * (p.wBase + p.wDr * nDr + p.wG * nG);
+  }
+  return w;
+}
+
+void applyWeights(DualGraph& graph, const Mesh& mesh,
+                  const ClusterLayout& clusters, const VertexWeightParams& p) {
+  graph.vertexWeights = computeVertexWeights(mesh, clusters, p);
+  const int cMax = clusters.numClusters - 1;
+  for (int e = 0; e < graph.numVertices(); ++e) {
+    for (int a = graph.adjOffsets[e]; a < graph.adjOffsets[e + 1]; ++a) {
+      const int nb = graph.adjacency[a];
+      // Communication happens at the faster side's update rate.
+      const int c = std::min(clusters.cluster[e], clusters.cluster[nb]);
+      graph.edgeWeights[a] = std::int64_t{1} << (cMax - c);
+    }
+  }
+}
+
+}  // namespace tsg

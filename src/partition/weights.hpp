@@ -1,0 +1,37 @@
+#pragma once
+
+// Multi-physics vertex weights for static load balancing (paper Eq. 28):
+//
+//   w(v) = 2^{c_max - c_v} * (w_base + w_DR * n_DR + w_G * n_G)
+//
+// where c_v is the element's LTS cluster (update rate), n_DR its number of
+// dynamic-rupture faces and n_G its number of gravitational-boundary
+// faces.  Edge weights model communication volume (one face's worth of
+// time-integrated DOFs, scaled by the shared update rate).
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/dual_graph.hpp"
+#include "geometry/mesh.hpp"
+#include "solver/time_clusters.hpp"
+
+namespace tsg {
+
+struct VertexWeightParams {
+  std::int64_t wBase = 100;
+  std::int64_t wDr = 200;  // paper's heuristic choice (Sec. 5.3)
+  std::int64_t wG = 300;
+};
+
+/// Per-element vertex weights following Eq. (28).
+std::vector<std::int64_t> computeVertexWeights(const Mesh& mesh,
+                                               const ClusterLayout& clusters,
+                                               const VertexWeightParams& p);
+
+/// Fill the dual graph's vertex weights (Eq. 28) and edge weights (update
+/// rate of the faster element on the shared face).
+void applyWeights(DualGraph& graph, const Mesh& mesh,
+                  const ClusterLayout& clusters, const VertexWeightParams& p);
+
+}  // namespace tsg

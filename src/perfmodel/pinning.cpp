@@ -1,0 +1,60 @@
+#include "perfmodel/pinning.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace tsg {
+
+int numaOfCpu(const NodeTopology& node, int cpu) {
+  const int core = cpu / node.threadsPerCore;
+  return core / node.coresPerNuma;
+}
+
+NodePinning computeNodePinning(const NodeTopology& node, int ranksPerNode) {
+  assert(ranksPerNode >= 1);
+  const int cores = node.physicalCores();
+  assert(cores % ranksPerNode == 0);
+  const int coresPerRank = cores / ranksPerNode;
+
+  NodePinning pin;
+  pin.ranks.resize(ranksPerNode);
+
+  // Workers: each rank gets a contiguous block of cores and leaves its
+  // last physical core without workers (paper: "we set the number of
+  // OpenMP threads to leave one physical core per MPI rank unused").
+  std::set<int> nodeWorkerMask;
+  for (int r = 0; r < ranksPerNode; ++r) {
+    RankPinning& rp = pin.ranks[r];
+    const int firstCore = r * coresPerRank;
+    for (int c = firstCore; c < firstCore + coresPerRank - 1; ++c) {
+      for (int smt = 0; smt < node.threadsPerCore; ++smt) {
+        const int cpu = c * node.threadsPerCore + smt;
+        rp.workerCpus.push_back(cpu);
+        nodeWorkerMask.insert(cpu);
+      }
+    }
+  }
+  pin.workerMask.assign(nodeWorkerMask.begin(), nodeWorkerMask.end());
+
+  // Communication threads: free logical CPUs (node-wide mask reduction)
+  // restricted to the NUMA domains covered by the rank's workers.
+  for (int r = 0; r < ranksPerNode; ++r) {
+    RankPinning& rp = pin.ranks[r];
+    std::set<int> usedNuma;
+    for (int cpu : rp.workerCpus) {
+      usedNuma.insert(numaOfCpu(node, cpu));
+    }
+    for (int cpu = 0; cpu < node.logicalCpus(); ++cpu) {
+      if (nodeWorkerMask.count(cpu)) {
+        continue;
+      }
+      if (usedNuma.count(numaOfCpu(node, cpu))) {
+        rp.commCpus.push_back(cpu);
+      }
+    }
+  }
+  return pin;
+}
+
+}  // namespace tsg

@@ -1,0 +1,39 @@
+#pragma once
+
+// The communication-thread pinning algorithm of paper Sec. 5.2 as a pure
+// function over a node topology:
+//
+//  * each rank leaves one physical core free of OpenMP workers,
+//  * worker threads fill the rank's cores via OMP_PLACES-style placement,
+//  * the per-node union of worker CPU masks is computed (the
+//    MPI_COMM_TYPE_SHARED reduction in the paper),
+//  * communication/IO threads are pinned to free logical CPUs that lie in
+//    NUMA domains already used by the rank's workers.
+
+#include <vector>
+
+#include "perfmodel/machine.hpp"
+
+namespace tsg {
+
+struct RankPinning {
+  std::vector<int> workerCpus;  // logical CPU ids of worker threads
+  std::vector<int> commCpus;    // logical CPU ids for the comm thread
+};
+
+struct NodePinning {
+  std::vector<RankPinning> ranks;
+  /// Logical CPUs occupied by any worker on the node.
+  std::vector<int> workerMask;
+};
+
+/// Compute the pinning for `ranksPerNode` ranks on one node, each using
+/// all cores of its share minus one (the paper's "sacrificed" core), with
+/// `threadsPerCore` SMT threads per worker core.
+NodePinning computeNodePinning(const NodeTopology& node, int ranksPerNode);
+
+/// NUMA domain of a logical CPU (workers are placed core-major:
+/// cpu = core * threadsPerCore + smt).
+int numaOfCpu(const NodeTopology& node, int cpu);
+
+}  // namespace tsg

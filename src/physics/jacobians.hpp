@@ -1,0 +1,29 @@
+#pragma once
+
+// Jacobians of the unified elastic/acoustic system (paper Eq. 8) and the
+// rotational-invariance transform T(n) (paper Eq. 15).
+
+#include "common/matrix.hpp"
+#include "physics/material.hpp"
+
+namespace tsg {
+
+/// Space-direction Jacobian A_d (d = 0,1,2 for x,y,z) of
+/// dq/dt + A dq/dx + B dq/dy + C dq/dz = 0.
+Matrix jacobianMatrix(const Material& mat, int direction);
+
+/// Star matrix for the reference-coordinate direction c:
+/// A*_c = sum_d A_d * dxi_c/dx_d, where `gradXi` holds dxi_c/dx_d.
+Matrix starMatrix(const Material& mat, const Vec3& gradXi);
+
+/// Orthonormal face basis (n, s, t) for a unit normal n.
+void faceBasis(const Vec3& n, Vec3& s, Vec3& t);
+
+/// 9x9 transform T with q_global = T q_face for the face basis (n, s, t):
+/// block-diagonal Bond stress rotation and 3x3 velocity rotation.
+Matrix rotationMatrix(const Vec3& n, const Vec3& s, const Vec3& t);
+
+/// T^{-1} (equals T built from the transposed rotation).
+Matrix rotationMatrixInverse(const Vec3& n, const Vec3& s, const Vec3& t);
+
+}  // namespace tsg

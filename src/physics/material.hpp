@@ -1,0 +1,50 @@
+#pragma once
+
+// Element-wise constant material of the unified elastic/acoustic system.
+//
+// An acoustic medium (ocean) is the special case mu = 0, lambda = K,
+// sigma_ij = -p delta_ij (paper Sec. 4.1), so both media share one state
+// vector and one set of Jacobians.
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+struct Material {
+  real rho = 0;     // density [kg/m^3]
+  real lambda = 0;  // first Lame parameter / bulk modulus (acoustic) [Pa]
+  real mu = 0;      // shear modulus [Pa]; 0 marks an acoustic medium
+
+  bool isAcoustic() const { return mu == 0; }
+
+  real pWaveSpeed() const { return std::sqrt((lambda + 2.0 * mu) / rho); }
+  real sWaveSpeed() const { return std::sqrt(mu / rho); }
+
+  /// P impedance Z_p = rho c_p.
+  real zP() const { return rho * pWaveSpeed(); }
+  /// S impedance Z_s = rho c_s (0 for acoustic media).
+  real zS() const { return rho * sWaveSpeed(); }
+
+  /// Largest wave speed (enters the CFL bound (27)).
+  real maxWaveSpeed() const { return pWaveSpeed(); }
+
+  static Material fromVelocities(real rho, real cp, real cs) {
+    Material m;
+    m.rho = rho;
+    m.mu = rho * cs * cs;
+    m.lambda = rho * cp * cp - 2.0 * m.mu;
+    return m;
+  }
+
+  static Material acoustic(real rho, real soundSpeed) {
+    Material m;
+    m.rho = rho;
+    m.mu = 0;
+    m.lambda = rho * soundSpeed * soundSpeed;
+    return m;
+  }
+};
+
+}  // namespace tsg

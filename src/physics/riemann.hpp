@@ -1,0 +1,47 @@
+#pragma once
+
+// Exact (Godunov) interface Riemann solvers for every combination of
+// elastic and acoustic media (paper Sec. 4.2, Eqs. 13-20).
+//
+// The middle state adjacent to the minus side is linear in the two traces,
+//   q^{b-} = G^- q^- + G^+ q^+   (face-aligned frame),
+// and the numerical flux into the minus element is
+//   Ahat^- q^* = F^- q^- + F^+ q^+  (global frame, Eq. 20),
+// with F^∓ precomputed per face.  Interface conditions: continuity of
+// traction and of all (elastic-elastic) or only the normal (fluid-solid)
+// velocity components; tangential tractions vanish on fluid-solid faces.
+
+#include "common/matrix.hpp"
+#include "geometry/mesh.hpp"
+#include "physics/material.hpp"
+
+namespace tsg {
+
+struct FluxMatrices {
+  Matrix fMinus;  // applied to the minus-side trace
+  Matrix fPlus;   // applied to the plus-side trace
+};
+
+/// Face-frame middle-state operators: q^{b-} = gMinus q^-_face + gPlus q^+_face.
+void godunovStateOperators(const Material& matMinus, const Material& matPlus,
+                           Matrix& gMinus, Matrix& gPlus);
+
+/// Global-frame flux matrices for an interior face with unit normal n
+/// pointing from the minus to the plus side.
+FluxMatrices interfaceFluxMatrices(const Material& matMinus,
+                                   const Material& matPlus, const Vec3& n);
+
+/// Global-frame flux matrix for a boundary face (free surface or
+/// absorbing); flux = F q^-.  The gravitational free surface is handled
+/// separately (time-dependent, see gravity/).
+Matrix boundaryFluxMatrix(const Material& mat, BoundaryType bc, const Vec3& n);
+
+/// Face-frame ghost-state mirror for a (traction-free) surface:
+/// q^+ = mirror * q^-.
+Matrix freeSurfaceMirror();
+
+/// Face-frame ghost-state mirror for a free-slip rigid wall (normal
+/// velocity and tangential tractions flip; used as reflecting tank walls).
+Matrix rigidWallMirror();
+
+}  // namespace tsg

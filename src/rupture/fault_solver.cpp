@@ -1,0 +1,276 @@
+#include "rupture/fault_solver.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/flops.hpp"
+#include "geometry/reference_tet.hpp"
+#include "kernels/element_kernels.hpp"
+#include "physics/jacobians.hpp"
+
+namespace tsg {
+
+namespace {
+
+/// y = A_face(mat) * w for the face-normal Jacobian (direction x).
+void applyFaceJacobian(const Material& m, const real* w, real* y) {
+  const real lam = m.lambda;
+  const real mu = m.mu;
+  const real irho = 1.0 / m.rho;
+  y[kSxx] = -(lam + 2.0 * mu) * w[kVx];
+  y[kSyy] = -lam * w[kVx];
+  y[kSzz] = -lam * w[kVx];
+  y[kSxy] = -mu * w[kVy];
+  y[kSyz] = 0;
+  y[kSxz] = -mu * w[kVz];
+  y[kVx] = -irho * w[kSxx];
+  y[kVy] = -irho * w[kSxy];
+  y[kVz] = -irho * w[kSxz];
+}
+
+void matVec9(const Matrix& m, const real* x, real* y) {
+  for (int i = 0; i < kNumQuantities; ++i) {
+    real s = 0;
+    for (int j = 0; j < kNumQuantities; ++j) {
+      s += m(i, j) * x[j];
+    }
+    y[i] = s;
+  }
+}
+
+}  // namespace
+
+FaultSolver::FaultSolver(int degree, FrictionLawType law)
+    : degree_(degree), law_(law) {}
+
+int FaultSolver::addFace(const Mesh& mesh, int minusElem, int minusFace,
+                         const Material& matMinus, const Material& matPlus,
+                         const FaultInitFn& init) {
+  if (matMinus.isAcoustic() || matPlus.isAcoustic()) {
+    throw std::invalid_argument(
+        "FaultSolver: dynamic rupture requires elastic media on both sides");
+  }
+  const auto& rm = referenceMatrices(degree_);
+  const FaceInfo& info = mesh.faces[minusElem][minusFace];
+  if (info.neighbor < 0) {
+    throw std::invalid_argument("FaultSolver: fault face must be interior");
+  }
+  FaultFace ff;
+  ff.minusElem = minusElem;
+  ff.minusFace = minusFace;
+  ff.plusElem = info.neighbor;
+  ff.plusFace = info.neighborFace;
+  ff.permutation = info.permutation;
+  ff.normal = mesh.faceNormal(minusElem, minusFace);
+  faceBasis(ff.normal, ff.tangent1, ff.tangent2);
+  ff.matMinus = matMinus;
+  ff.matPlus = matPlus;
+  ff.zPMinus = matMinus.zP();
+  ff.zPPlus = matPlus.zP();
+  ff.zSMinus = matMinus.zS();
+  ff.zSPlus = matPlus.zS();
+  ff.etaS = ff.zSMinus * ff.zSPlus / (ff.zSMinus + ff.zSPlus);
+  ff.rot = rotationMatrix(ff.normal, ff.tangent1, ff.tangent2);
+  ff.rotInv = rotationMatrixInverse(ff.normal, ff.tangent1, ff.tangent2);
+  ff.init.resize(rm.nq);
+  ff.state.resize(rm.nq);
+  ff.qpX.resize(rm.nq);
+  ff.qpY.resize(rm.nq);
+  ff.qpZ.resize(rm.nq);
+  for (int i = 0; i < rm.nq; ++i) {
+    const Vec3 xi = refFacePoint(minusFace, rm.faceQuadS[i], rm.faceQuadT[i]);
+    const Vec3 x = mesh.toPhysical(minusElem, xi);
+    ff.qpX[i] = x[0];
+    ff.qpY[i] = x[1];
+    ff.qpZ[i] = x[2];
+    ff.init[i] = init(x, ff.normal, ff.tangent1, ff.tangent2);
+    FaultPointState& st = ff.state[i];
+    st.sigmaN = ff.init[i].sigmaN0;
+    st.tau1 = ff.init[i].tau10;
+    st.tau2 = ff.init[i].tau20;
+    if (law_ == FrictionLawType::kRateStateFastVW) {
+      const real tau0 = std::hypot(st.tau1, st.tau2);
+      st.psi = ff.init[i].rs.initialPsi(tau0, st.sigmaN,
+                                        ff.init[i].initialSlipRate);
+      st.slipRate = ff.init[i].initialSlipRate;
+    }
+  }
+  faces_.push_back(std::move(ff));
+  return numFaces() - 1;
+}
+
+void FaultSolver::computeFluxes(int i, const ReferenceMatrices& rm,
+                                const real* stackMinus, const real* stackPlus,
+                                real dt, real stepStartTime, real* fluxMinusQP,
+                                real* fluxPlusQP, real* scratch) {
+  FaultFace& ff = faces_[i];
+  const int nq = rm.nq;
+  const int nbq = dofCount(rm);
+  const int traceSize = nq * kNumQuantities;
+
+  // Face traces of all Taylor coefficients for both sides.
+  real* traceM = scratch;
+  real* traceP = scratch + static_cast<std::size_t>(rm.degree + 1) * traceSize;
+  const Matrix& evalP =
+      rm.faceEvalNeighbor[ff.minusFace][ff.plusFace][ff.permutation];
+  for (int k = 0; k <= rm.degree; ++k) {
+    real* dstM = traceM + static_cast<std::size_t>(k) * traceSize;
+    real* dstP = traceP + static_cast<std::size_t>(k) * traceSize;
+    std::memset(dstM, 0, sizeof(real) * traceSize);
+    std::memset(dstP, 0, sizeof(real) * traceSize);
+    gemmAccRaw(nq, kNumQuantities, rm.nb, rm.faceEval[ff.minusFace].data(),
+               stackMinus + static_cast<std::size_t>(k) * nbq, dstM);
+    gemmAccRaw(nq, kNumQuantities, rm.nb, evalP.data(),
+               stackPlus + static_cast<std::size_t>(k) * nbq, dstP);
+  }
+
+  std::memset(fluxMinusQP, 0, sizeof(real) * traceSize);
+  std::memset(fluxPlusQP, 0, sizeof(real) * traceSize);
+
+  const real zPSum = ff.zPMinus + ff.zPPlus;
+  const real zSSum = ff.zSMinus + ff.zSPlus;
+
+  for (int j = 0; j < rm.nt; ++j) {
+    const real tau = rm.timeQuadTau[j] * dt;
+    const real w = rm.timeQuadW[j] * dt;
+    for (int qp = 0; qp < nq; ++qp) {
+      // Taylor evaluation of both traces at (qp, tau).
+      real qM[kNumQuantities] = {};
+      real qP[kNumQuantities] = {};
+      real tk = 1.0;
+      real factorial = 1.0;
+      for (int k = 0; k <= rm.degree; ++k) {
+        const real c = tk / factorial;
+        const real* rowM =
+            traceM + static_cast<std::size_t>(k) * traceSize + qp * kNumQuantities;
+        const real* rowP =
+            traceP + static_cast<std::size_t>(k) * traceSize + qp * kNumQuantities;
+        for (int q = 0; q < kNumQuantities; ++q) {
+          qM[q] += c * rowM[q];
+          qP[q] += c * rowP[q];
+        }
+        tk *= tau;
+        factorial *= (k + 1);
+      }
+      // Rotate into the face frame.
+      real wM[kNumQuantities], wP[kNumQuantities];
+      matVec9(ff.rotInv, qM, wM);
+      matVec9(ff.rotInv, qP, wP);
+
+      // Locked ("Godunov") interface values of the wavefield perturbation.
+      const real uB = (wP[kSxx] - wM[kSxx] + ff.zPMinus * wM[kVx] +
+                       ff.zPPlus * wP[kVx]) /
+                      zPSum;
+      const real snGod = wM[kSxx] + ff.zPMinus * (uB - wM[kVx]);
+      const real t1God = (ff.zSPlus * wM[kSxy] + ff.zSMinus * wP[kSxy] +
+                          ff.zSMinus * ff.zSPlus * (wP[kVy] - wM[kVy])) /
+                         zSSum;
+      const real t2God = (ff.zSPlus * wM[kSxz] + ff.zSMinus * wP[kSxz] +
+                          ff.zSMinus * ff.zSPlus * (wP[kVz] - wM[kVz])) /
+                         zSSum;
+
+      FaultPointState& st = ff.state[qp];
+      const FaultPointInit& in = ff.init[qp];
+      real nucl = 0;
+      if (in.nucleationRiseTime > 0) {
+        const real tt = (stepStartTime + tau) / in.nucleationRiseTime;
+        nucl = tt >= 1 ? 1.0 : tt * tt * (3.0 - 2.0 * tt);
+      }
+      const real snTot = in.sigmaN0 + snGod;
+      const real t1Tot = in.tau10 + nucl * in.tauNucl1 + t1God;
+      const real t2Tot = in.tau20 + nucl * in.tauNucl2 + t2God;
+      const real tauLock = std::hypot(t1Tot, t2Tot);
+
+      real tauOut = 0;
+      real v = 0;
+      if (law_ == FrictionLawType::kLinearSlipWeakening) {
+        solveFrictionLsw(in.lsw, st.slip, tauLock, snTot, ff.etaS, tauOut, v);
+      } else {
+        solveFrictionRs(in.rs, st.psi, tauLock, snTot, ff.etaS, tauOut, v);
+      }
+      const real d1 = tauLock > 0 ? t1Tot / tauLock : 0;
+      const real d2 = tauLock > 0 ? t2Tot / tauLock : 0;
+      const real t1New = tauOut * d1;  // total transmitted shear traction
+      const real t2New = tauOut * d2;
+      const real v1 = (t1Tot - t1New) / ff.etaS;
+      const real v2 = (t2Tot - t2New) / ff.etaS;
+
+      // State updates: the Gauss weight acts as the sub-interval length.
+      st.slip += v * w;
+      st.slip1 += v1 * w;
+      st.slip2 += v2 * w;
+      st.slipRate = v;
+      st.tau1 = t1New;
+      st.tau2 = t2New;
+      st.sigmaN = snTot;
+      if (law_ == FrictionLawType::kRateStateFastVW) {
+        st.psi = in.rs.evolvePsi(st.psi, v, w);
+      }
+      if (st.ruptureTime < 0 && v > 1e-3) {
+        st.ruptureTime = stepStartTime + tau;
+      }
+
+      // Imposed (perturbation) tractions seen by the wavefield: subtract
+      // the static background plus the (external) nucleation forcing.
+      const real t1Imp = t1New - in.tau10 - nucl * in.tauNucl1;
+      const real t2Imp = t2New - in.tau20 - nucl * in.tauNucl2;
+
+      // Middle states for both sides.
+      real wbM[kNumQuantities], wbP[kNumQuantities];
+      std::memcpy(wbM, wM, sizeof wbM);
+      std::memcpy(wbP, wP, sizeof wbP);
+      wbM[kSxx] = snGod;
+      wbM[kSxy] = t1Imp;
+      wbM[kSxz] = t2Imp;
+      wbM[kVx] = uB;
+      wbM[kVy] = wM[kVy] + (t1Imp - wM[kSxy]) / ff.zSMinus;
+      wbM[kVz] = wM[kVz] + (t2Imp - wM[kSxz]) / ff.zSMinus;
+      wbP[kSxx] = snGod;
+      wbP[kSxy] = t1Imp;
+      wbP[kSxz] = t2Imp;
+      wbP[kVx] = uB;
+      wbP[kVy] = wP[kVy] - (t1Imp - wP[kSxy]) / ff.zSPlus;
+      wbP[kVz] = wP[kVz] - (t2Imp - wP[kSxz]) / ff.zSPlus;
+
+      real fM[kNumQuantities], fP[kNumQuantities];
+      real tmp[kNumQuantities];
+      applyFaceJacobian(ff.matMinus, wbM, tmp);
+      matVec9(ff.rot, tmp, fM);
+      applyFaceJacobian(ff.matPlus, wbP, tmp);
+      matVec9(ff.rot, tmp, fP);
+
+      real* outM = fluxMinusQP + qp * kNumQuantities;
+      real* outP = fluxPlusQP + qp * kNumQuantities;
+      for (int q = 0; q < kNumQuantities; ++q) {
+        outM[q] += w * fM[q];
+        outP[q] -= w * fP[q];  // the plus side sees the flipped normal
+      }
+    }
+  }
+  countFlops(static_cast<std::uint64_t>(rm.nt) * nq * 600);
+}
+
+real FaultSolver::maxSlipRate() const {
+  real m = 0;
+  for (const auto& ff : faces_) {
+    for (const auto& st : ff.state) {
+      m = std::max(m, st.slipRate);
+    }
+  }
+  return m;
+}
+
+real FaultSolver::totalSlipIntegral(const ReferenceMatrices& rm,
+                                    const Mesh& mesh) const {
+  real sum = 0;
+  for (const auto& ff : faces_) {
+    const real area = mesh.faceArea(ff.minusElem, ff.minusFace);
+    for (int i = 0; i < rm.nq; ++i) {
+      sum += 2.0 * area * rm.faceQuadW[i] * ff.state[i].slip;
+    }
+  }
+  return sum;
+}
+
+}  // namespace tsg

@@ -1,0 +1,97 @@
+#pragma once
+
+// Dynamic-rupture fault interface solver (paper Eq. 2, Sec. 5.3).
+//
+// Fault faces are interior faces where, instead of the welded-contact
+// Godunov flux, the traction is bounded by a friction law.  At every
+// space-time quadrature point the "locked" traction is computed from the
+// exact Riemann problem; if it exceeds the fault strength, the friction
+// law determines the transmitted traction and the slip rate, and modified
+// middle states are imposed on both sides.  Background (initial) stress
+// enters only through the friction solve: the wavefield carries
+// perturbation stresses.
+
+#include <functional>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "geometry/mesh.hpp"
+#include "kernels/reference_matrices.hpp"
+#include "physics/material.hpp"
+#include "rupture/friction.hpp"
+
+namespace tsg {
+
+enum class FrictionLawType {
+  kLinearSlipWeakening,
+  kRateStateFastVW,
+};
+
+/// Per-quadrature-point fault initialisation.
+struct FaultPointInit {
+  real sigmaN0 = 0;  // initial normal traction (negative = compression) [Pa]
+  real tau10 = 0;    // initial shear traction along tangent 1 [Pa]
+  real tau20 = 0;    // initial shear traction along tangent 2 [Pa]
+  LinearSlipWeakeningLaw lsw;
+  RateStateFastVWLaw rs;
+  real initialSlipRate = 1e-16;  // seeds the RS state variable
+  /// Forced nucleation: an extra shear traction ramped in smoothly over
+  /// `nucleationRiseTime` seconds (rate-and-state faults cannot nucleate
+  /// from an instantaneous overstress within seismic time scales).
+  real tauNucl1 = 0;
+  real tauNucl2 = 0;
+  real nucleationRiseTime = 0;  // 0 disables
+};
+
+struct FaultFace {
+  int minusElem = -1, minusFace = -1;
+  int plusElem = -1, plusFace = -1, permutation = -1;
+  Vec3 normal{}, tangent1{}, tangent2{};
+  Material matMinus, matPlus;
+  real zPMinus = 0, zPPlus = 0, zSMinus = 0, zSPlus = 0;
+  real etaS = 0;  // Zs^- Zs^+ / (Zs^- + Zs^+)
+  Matrix rot;     // T   (face -> global)
+  Matrix rotInv;  // T^-1
+  std::vector<FaultPointInit> init;    // [nq]
+  std::vector<FaultPointState> state;  // [nq]
+  std::vector<real> qpX, qpY, qpZ;     // physical quadrature points
+};
+
+using FaultInitFn = std::function<FaultPointInit(
+    const Vec3& x, const Vec3& n, const Vec3& s, const Vec3& t)>;
+
+class FaultSolver {
+ public:
+  FaultSolver(int degree, FrictionLawType law);
+
+  /// Register a fault face; both sides must be elastic.
+  int addFace(const Mesh& mesh, int minusElem, int minusFace,
+              const Material& matMinus, const Material& matPlus,
+              const FaultInitFn& init);
+
+  int numFaces() const { return static_cast<int>(faces_.size()); }
+  const FaultFace& faceAt(int i) const { return faces_[i]; }
+  FrictionLawType law() const { return law_; }
+
+  /// Advance friction state over [0, dt] and write the *time-integrated*
+  /// global-frame fluxes for both sides (each nq x 9).  `scratch` must
+  /// hold 2 * (degree+1) * nq * 9 reals.
+  void computeFluxes(int i, const ReferenceMatrices& rm,
+                     const real* stackMinus, const real* stackPlus, real dt,
+                     real stepStartTime, real* fluxMinusQP, real* fluxPlusQP,
+                     real* scratch);
+
+  /// Maximum slip rate over all faces and points (monitoring / nucleation
+  /// diagnostics).
+  real maxSlipRate() const;
+  /// Total moment-like integral: sum over points of slip * area-weight *
+  /// mu (rough seismic moment when multiplied by rigidity).
+  real totalSlipIntegral(const ReferenceMatrices& rm, const Mesh& mesh) const;
+
+ private:
+  int degree_;
+  FrictionLawType law_;
+  std::vector<FaultFace> faces_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,118 @@
+#include "scenario/megathrust.hpp"
+
+#include <cmath>
+
+#include "geometry/mesh_builder.hpp"
+
+namespace tsg {
+
+MegathrustScenario buildMegathrustScenario(const MegathrustParams& p) {
+  MegathrustScenario s;
+  s.params = p;
+  const real h = p.h;
+  const real seafloor = -p.waterDepth;
+  // Fault plane: x - z = faultTraceX + waterDepth, i.e. it meets the
+  // seafloor at x = faultTraceX and dips seaward-down at 45 degrees along
+  // the Kuhn-cell diagonals (which requires dx == dz == h there).
+  s.faultTraceX = 0.0;
+  const real planeC = s.faultTraceX - seafloor;
+  const real faultBottomZ = seafloor - p.faultDownDip;
+
+  BoxMeshSpec spec;
+  const real xUniLo = s.faultTraceX - p.faultDownDip - 2 * h;
+  const real xUniHi = s.faultTraceX + 2 * h;
+  s.xMin = xUniLo - p.domainPadding;
+  s.xMax = xUniHi + p.domainPadding;
+  spec.xLines = lineUniformGraded(s.xMin, xUniLo, xUniHi, s.xMax, h, 1.4,
+                                  4 * h);
+  const real yHalf = p.faultAlongStrike / 2;
+  s.yMin = -yHalf - p.domainPadding;
+  s.yMax = yHalf + p.domainPadding;
+  spec.yLines = lineUniformGraded(s.yMin, -yHalf - h, yHalf + h, s.yMax, h,
+                                  1.4, 4 * h);
+  // z: coarse mantle, uniform h across the fault depth range, ocean layer.
+  std::vector<real> z = lineUniformGraded(
+      seafloor - p.depthExtent, faultBottomZ - 2 * h, seafloor, seafloor, h,
+      1.4, 4 * h);
+  if (p.withWater) {
+    const int waterCells = std::max(
+        1, static_cast<int>(std::round(p.waterDepth / p.waterCellSize)));
+    const auto zWater = uniformLine(seafloor, 0.0, waterCells);
+    z.insert(z.end(), zWater.begin() + 1, zWater.end());
+  }
+  spec.zLines = std::move(z);
+
+  spec.material = [seafloor](const Vec3& c) { return c[2] > seafloor ? 1 : 0; };
+  const bool withWater = p.withWater;
+  spec.boundary = [withWater](const Vec3&, const Vec3& n) {
+    if (n[2] > 0.5) {
+      // Ocean surface in the coupled model; traction-free seafloor in the
+      // earthquake-only model used for one-way linking.
+      return withWater ? BoundaryType::kGravityFreeSurface
+                       : BoundaryType::kFreeSurface;
+    }
+    return BoundaryType::kAbsorbing;
+  };
+  const real diag = 1.0 / std::sqrt(2.0);
+  spec.faultFace = [=](const Vec3& c, const Vec3& n) {
+    if (std::abs(std::abs(n[0] * 1.0 + n[2] * (-1.0)) * diag - 1.0) > 1e-6) {
+      return false;
+    }
+    if (std::abs((c[0] - c[2]) - planeC) > 1e-3 * h) {
+      return false;
+    }
+    return c[2] < seafloor - 0.01 * h && c[2] > faultBottomZ &&
+           std::abs(c[1]) < yHalf;
+  };
+
+  s.mesh = buildBoxMesh(spec);
+  // Oceanic crust of a subduction zone (paper Sec. 6.1 / Stephenson 2017).
+  s.materials = {Material::fromVelocities(3775.0, 7639.9, 4229.4),
+                 Material::acoustic(1000.0, 1500.0)};
+
+  const MegathrustParams params = p;
+  const real traceX = s.faultTraceX;
+  s.faultInit = [params, seafloor, traceX](const Vec3& x, const Vec3& n,
+                                           const Vec3& t1, const Vec3& t2) {
+    FaultPointInit fp;
+    fp.sigmaN0 = params.sigmaN0;
+    fp.lsw.muS = params.muS;
+    fp.lsw.muD = params.muD;
+    fp.lsw.dC = params.dC;
+    // Higher strength near the seafloor smoothly stops the rupture
+    // (paper Sec. 6.1).
+    const real depthBelowSeafloor = seafloor - x[2];
+    fp.lsw.cohesion =
+        params.cohesionPeak * std::exp(-depthBelowSeafloor / params.cohesionDecay);
+    // Thrust loading along the up-dip direction within the fault plane.
+    Vec3 upDip = {1.0 / std::sqrt(2.0), 0.0, 1.0 / std::sqrt(2.0)};
+    if (n[0] < 0) {  // orient consistently with the face normal
+      upDip = {-upDip[0], 0.0, -upDip[2]};
+    }
+    // Overstressed circular nucleation patch at mid-depth on the trace
+    // normal bisector.
+    const real midZ = seafloor - params.faultDownDip / 2;
+    const real dz = x[2] - midZ;
+    const real dy = x[1];
+    const real r = std::sqrt(dy * dy + 2.0 * dz * dz);  // in-plane distance
+    const real tau0 =
+        (r < params.nucleationRadius) ? params.tauNucleation
+                                      : params.tauBackground;
+    fp.tau10 = tau0 * dot(upDip, t1);
+    fp.tau20 = tau0 * dot(upDip, t2);
+    (void)traceX;
+    return fp;
+  };
+  return s;
+}
+
+SolverConfig megathrustSolverConfig(int degree) {
+  SolverConfig cfg;
+  cfg.degree = degree;
+  cfg.gravity = 9.81;
+  cfg.ltsRate = 2;
+  cfg.frictionLaw = FrictionLawType::kLinearSlipWeakening;
+  return cfg;
+}
+
+}  // namespace tsg

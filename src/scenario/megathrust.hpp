@@ -1,0 +1,61 @@
+#pragma once
+
+// Megathrust earthquake-tsunami benchmark (paper Sec. 6.1, "Scenario A"
+// of Madden et al. 2021), scaled to laptop size.
+//
+// A dipping planar thrust fault under a flat ocean basin; linear
+// slip-weakening friction with an overstressed nucleation patch; higher
+// fault strength near the seafloor smoothly stops the rupture.  The
+// paper's 16-degree dip is replaced by 45 degrees so that the fault plane
+// coincides exactly with mesh-conforming diagonal faces of the graded
+// Kuhn-tetrahedral grid (see DESIGN.md); oceanic-crust elastic properties
+// and the 2 km water layer follow the paper.
+
+#include <functional>
+
+#include "geometry/mesh.hpp"
+#include "physics/material.hpp"
+#include "rupture/fault_solver.hpp"
+#include "solver/simulation.hpp"
+
+namespace tsg {
+
+struct MegathrustParams {
+  real h = 2000.0;            // element size in the fault region [m]
+  real faultAlongStrike = 16000.0;  // [m]
+  real faultDownDip = 12000.0;      // along-dip extent [m]
+  real waterDepth = 2000.0;         // [m] (paper: 2 km basin)
+  real waterCellSize = 1000.0;      // vertical cells in the ocean [m]
+  real domainPadding = 20000.0;     // [m] beyond the fault region
+  real depthExtent = 24000.0;       // [m] of solid Earth
+  real nucleationRadius = 2500.0;   // [m]
+  bool withWater = true;            // false: earthquake-only model for the
+                                    // one-way linked reference (Sec. 6.1)
+  // Friction (paper Sec. 6.1 benchmark style, scaled: d_c is reduced so
+  // that the critical crack length fits the scaled-down fault).
+  real sigmaN0 = -50e6;
+  real tauBackground = 25e6;
+  real tauNucleation = 40e6;
+  real muS = 0.677;
+  real muD = 0.373;
+  real dC = 0.15;
+  real cohesionPeak = 15e6;     // near-seafloor strengthening ...
+  real cohesionDecay = 800.0;   // ... decaying over this depth [m]
+};
+
+struct MegathrustScenario {
+  Mesh mesh;
+  std::vector<Material> materials;  // [0] = crust, [1] = ocean
+  FaultInitFn faultInit;
+  // Geometry metadata for observation / one-way linking grids.
+  real xMin, xMax, yMin, yMax;
+  real faultTraceX;  // x where the fault meets the seafloor
+  MegathrustParams params;
+};
+
+MegathrustScenario buildMegathrustScenario(const MegathrustParams& p = {});
+
+/// Solver configuration used by the benchmark runs.
+SolverConfig megathrustSolverConfig(int degree);
+
+}  // namespace tsg

@@ -1,0 +1,157 @@
+#include "scenario/palu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/mesh_builder.hpp"
+
+namespace tsg {
+
+namespace {
+
+/// Smooth step from 0 (t <= 0) to 1 (t >= 1).
+real smooth01(real t) {
+  t = std::clamp(t, real(0), real(1));
+  return t * t * (3 - 2 * t);
+}
+
+}  // namespace
+
+PaluScenario buildPaluScenario(const PaluParams& p) {
+  PaluScenario s;
+  s.params = p;
+
+  // ---- bathymetry: narrow steep bay cut into a shallow shelf; open,
+  // deepening ocean to the north. ----------------------------------------
+  s.bathymetry = [p](real x, real y) {
+    // Bay: |x| < bayHalfWidth, y from baySouthEnd to the northern opening.
+    const real flankX =
+        smooth01((p.bayHalfWidth - std::abs(x)) / (0.5 * p.bayHalfWidth));
+    const real flankS = smooth01((y - p.baySouthEnd) / 6000.0);
+    const real bay = flankX * flankS;
+    // Northern open ocean deepens from the shelf.
+    const real openOcean = smooth01((y - 12000.0) / 16000.0);
+    const real depth = p.shelfDepth +
+                       (p.bayDepth - p.shelfDepth) * std::max(bay, openOcean);
+    return -depth;
+  };
+
+  BoxMeshSpec spec;
+  // Snap the uniform spacing so that both fault segments coincide with
+  // grid planes (fault faces must be mesh-conforming).
+  const int nBetween = std::max(
+      1, static_cast<int>(std::ceil((p.segment2X - p.segment1X) / p.hFault)));
+  const real hs = (p.segment2X - p.segment1X) / nBetween;
+  spec.xLines = lineUniformGraded(-p.domainHalfX, p.segment1X - 2 * hs,
+                                  p.segment2X + 2 * hs, p.domainHalfX, hs, 1.4,
+                                  p.hCoarse);
+  spec.yLines = lineUniformGraded(p.domainSouthY, p.baySouthEnd - 2 * hs,
+                                  p.nucleationY + 6000.0, p.domainNorthY, hs,
+                                  1.4, p.hCoarse);
+  // Vertical: coarse mantle, fault-resolution seismogenic zone, fine
+  // near-seafloor zone, very fine water layer.  The reference seafloor
+  // (deformed onto the bathymetry) sits at -bayDepth.
+  const real refSeafloor = -p.bayDepth;
+  std::vector<real> z = lineUniformGraded(
+      -p.solidDepth, p.faultBottomZ - 2 * hs, refSeafloor - 200.0,
+      refSeafloor - 200.0, hs, 1.4, p.hCoarse);
+  {
+    const auto zFine = uniformLine(refSeafloor - 200.0, refSeafloor, 1);
+    z.insert(z.end(), zFine.begin() + 1, zFine.end());
+    const int waterCells = std::max(
+        2, static_cast<int>(std::round(p.bayDepth / p.hWaterVertical)));
+    const auto zWater = uniformLine(refSeafloor, 0.0, waterCells);
+    z.insert(z.end(), zWater.begin() + 1, zWater.end());
+  }
+  spec.zLines = std::move(z);
+
+  spec.deformZ =
+      bathymetryDeformation(-p.solidDepth, refSeafloor, 0.0, s.bathymetry);
+
+  // The deformation moves the material interface to the bathymetry:
+  // everything above it is water.  Classify by comparing the centroid with
+  // the local bathymetry.
+  const auto bathy = s.bathymetry;
+  spec.material = [bathy](const Vec3& c) {
+    return c[2] > bathy(c[0], c[1]) ? 1 : 0;
+  };
+  spec.boundary = [](const Vec3&, const Vec3& n) {
+    if (n[2] > 0.5) {
+      return BoundaryType::kGravityFreeSurface;
+    }
+    return BoundaryType::kAbsorbing;
+  };
+
+  const PaluParams pp = p;
+  spec.faultFace = [pp](const Vec3& c, const Vec3& n) {
+    if (std::abs(std::abs(n[0]) - 1.0) > 1e-6) {
+      return false;
+    }
+    if (c[2] > pp.faultTopZ || c[2] < pp.faultBottomZ) {
+      return false;
+    }
+    const real yN0 = pp.stepoverY - pp.overlap / 2;  // segment extents
+    const real yN1 = pp.domainNorthY;                // (clipped by mesh)
+    const real yS0 = pp.domainSouthY;
+    const real yS1 = pp.stepoverY + pp.overlap / 2;
+    if (std::abs(c[0] - pp.segment1X) < 1e-3) {
+      return c[1] > yN0 && c[1] < yN1 - 6000.0;
+    }
+    if (std::abs(c[0] - pp.segment2X) < 1e-3) {
+      return c[1] > yS0 + 6000.0 && c[1] < yS1;
+    }
+    return false;
+  };
+
+  s.mesh = buildBoxMesh(spec);
+  s.materials = {Material::fromVelocities(2700.0, 6000.0, 3464.0),
+                 Material::acoustic(1000.0, 1500.0)};
+
+  s.faultInit = [pp](const Vec3& x, const Vec3& n, const Vec3& t1,
+                     const Vec3& t2) {
+    FaultPointInit fp;
+    fp.sigmaN0 = pp.sigmaN0;
+    fp.rs.a = 0.01;
+    fp.rs.b = 0.014;
+    fp.rs.L = 0.2;
+    fp.rs.f0 = 0.6;
+    fp.rs.v0 = 1e-6;
+    fp.rs.fw = 0.1;
+    fp.rs.vw = 0.1;
+    fp.initialSlipRate = 1e-12;
+    // Left-lateral strike-slip loading along -y (Palu moved south).
+    Vec3 strike = {0.0, -1.0, 0.0};
+    if (n[0] < 0) {
+      strike = {0.0, 1.0, 0.0};
+    }
+    fp.tau10 = pp.tauBackground * dot(strike, t1);
+    fp.tau20 = pp.tauBackground * dot(strike, t2);
+    // Forced nucleation patch (smooth in space and time): rate-and-state
+    // faults are seeded at steady state under the background load and
+    // pushed to failure by a ramped traction perturbation.
+    const real dy = x[1] - pp.nucleationY;
+    const real dz = x[2] - 0.5 * (pp.faultTopZ + pp.faultBottomZ);
+    const real r = std::sqrt(dy * dy + dz * dz);
+    const real extra = (pp.tauNucleation - pp.tauBackground) *
+                       smooth01((pp.nucleationRadius - r) /
+                                (0.5 * pp.nucleationRadius) + 1.0);
+    if (extra > 0) {
+      fp.tauNucl1 = extra * dot(strike, t1);
+      fp.tauNucl2 = extra * dot(strike, t2);
+      fp.nucleationRiseTime = 0.8;
+    }
+    return fp;
+  };
+  return s;
+}
+
+SolverConfig paluSolverConfig(int degree) {
+  SolverConfig cfg;
+  cfg.degree = degree;
+  cfg.gravity = 9.81;
+  cfg.ltsRate = 2;
+  cfg.frictionLaw = FrictionLawType::kRateStateFastVW;
+  return cfg;
+}
+
+}  // namespace tsg

@@ -1,0 +1,69 @@
+#pragma once
+
+// Synthetic Palu-Bay scenario (paper Sec. 6.2), scaled to laptop size.
+//
+// Substitutions (see DESIGN.md): the BATNAS bathymetry is replaced by an
+// analytic narrow, steep "bathtub" bay (~700 m deep) cut into a shallow
+// shelf; the multi-segment Palu-Koro fault is modelled as two vertical
+// strike-slip segments with a releasing stepover crossing the bay, which
+// is the mechanism producing localized subsidence/uplift in the bay.
+// Friction is fast-velocity-weakening rate-and-state (as in the paper);
+// the background stress ratio is chosen high enough for supershear
+// rupture.  Land cannot fall dry in the fully coupled model, so the
+// bathymetry is clamped to a minimum depth (the paper's coupled model
+// does not treat inundation either).
+
+#include <functional>
+
+#include "geometry/mesh.hpp"
+#include "physics/material.hpp"
+#include "rupture/fault_solver.hpp"
+#include "solver/simulation.hpp"
+
+namespace tsg {
+
+struct PaluParams {
+  // Geometry [m] (scaled-down Palu Bay: the real bay is ~8 km x 30 km).
+  real bayHalfWidth = 4000.0;
+  real bayDepth = 700.0;
+  real shelfDepth = 60.0;    // clamped minimum water depth ("land")
+  real baySouthEnd = -24000.0;
+  real domainHalfX = 20000.0;
+  real domainSouthY = -36000.0;
+  real domainNorthY = 36000.0;
+  real solidDepth = 24000.0;
+
+  // Mesh resolution [m].
+  real hFault = 2000.0;       // around the fault
+  real hWaterVertical = 150.0;  // water-layer vertical resolution
+  real hCoarse = 6000.0;
+
+  // Fault segments (vertical strike-slip planes x = const).
+  real segment1X = -2000.0;  // northern segment
+  real segment2X = 2000.0;   // southern segment (stepover to the east)
+  real stepoverY = -8000.0;  // overlap centre
+  real overlap = 4000.0;
+
+  // Stress state / friction (rate-and-state fast velocity weakening).
+  real sigmaN0 = -20e6;
+  real tauBackground = 11.5e6;  // high stress ratio => supershear
+  real tauNucleation = 18.5e6;  // forced-nucleation peak (ramped in)
+  real nucleationY = 20000.0;   // epicentre north of the bay (as in 2018)
+  real nucleationRadius = 3000.0;
+  real faultTopZ = -1500.0;   // below the deepest bathymetry
+  real faultBottomZ = -14000.0;
+};
+
+struct PaluScenario {
+  Mesh mesh;
+  std::vector<Material> materials;  // [0] crust, [1] water
+  FaultInitFn faultInit;
+  std::function<real(real x, real y)> bathymetry;
+  PaluParams params;
+};
+
+PaluScenario buildPaluScenario(const PaluParams& p = {});
+
+SolverConfig paluSolverConfig(int degree);
+
+}  // namespace tsg

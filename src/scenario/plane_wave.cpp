@@ -1,0 +1,164 @@
+#include "scenario/plane_wave.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/mesh_builder.hpp"
+#include "kernels/reference_matrices.hpp"
+
+namespace tsg {
+
+namespace {
+
+Mesh rigidBox(int cells) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, cells);
+  spec.yLines = uniformLine(0, 1, cells);
+  spec.zLines = uniformLine(0, 1, cells);
+  spec.boundary = [](const Vec3&, const Vec3&) {
+    return BoundaryType::kRigidWall;
+  };
+  return buildBoxMesh(spec);
+}
+
+}  // namespace
+
+AnalyticCase elasticStandingWaveCase(int cells) {
+  AnalyticCase c;
+  const Material m = Material::fromVelocities(2.0, 2.0, 1.0);
+  c.mesh = rigidBox(cells);
+  c.materials = {m};
+  const real k = 2 * M_PI;
+  const real omega = k * m.pWaveSpeed();
+  c.exact = [m, k, omega](const Vec3& x, real t) {
+    std::array<real, kNumQuantities> q{};
+    const real cc = k * std::cos(k * x[0]) * std::cos(omega * t);
+    q[kSxx] = (m.lambda + 2 * m.mu) * cc;
+    q[kSyy] = m.lambda * cc;
+    q[kSzz] = m.lambda * cc;
+    q[kVx] = -omega * std::sin(k * x[0]) * std::sin(omega * t);
+    return q;
+  };
+  c.probes = {{0.13, 0.5, 0.5}, {0.37, 0.52, 0.48}, {0.71, 0.3, 0.6}};
+  return c;
+}
+
+AnalyticCase acousticStandingWaveCase(int cells) {
+  AnalyticCase c;
+  const Material m = Material::acoustic(1.0, 1.0);
+  c.mesh = rigidBox(cells);
+  c.materials = {m};
+  const real k = 2 * M_PI;
+  const real omega = k * m.pWaveSpeed();
+  c.exact = [m, k, omega](const Vec3& x, real t) {
+    std::array<real, kNumQuantities> q{};
+    const real cc = m.lambda * k * std::cos(k * x[0]) * std::cos(omega * t);
+    q[kSxx] = cc;
+    q[kSyy] = cc;
+    q[kSzz] = cc;
+    q[kVx] = -omega * std::sin(k * x[0]) * std::sin(omega * t);
+    return q;
+  };
+  c.probes = {{0.13, 0.5, 0.5}, {0.37, 0.52, 0.48}, {0.71, 0.3, 0.6}};
+  return c;
+}
+
+real coupledModeFrequency(const Material& solid, const Material& fluid, real a,
+                          real b) {
+  const real cs = solid.pWaveSpeed();
+  const real cf = fluid.pWaveSpeed();
+  const real zs = solid.zP();
+  const real zf = fluid.zP();
+  auto f = [&](real w) {
+    return zs / std::tan(w * a / cs) - zf * std::tan(w * b / cf);
+  };
+  const real wMax = std::min(M_PI * cs / a, M_PI * cf / (2 * b));
+  real lo = 1e-9 * wMax;
+  real hi = wMax * (1 - 1e-9);
+  if (f(lo) < 0 || f(hi) > 0) {
+    throw std::logic_error("coupledModeFrequency: root not bracketed");
+  }
+  for (int it = 0; it < 200; ++it) {
+    const real mid = 0.5 * (lo + hi);
+    (f(mid) > 0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+AnalyticCase coupledLayerModeCase(int cellsZ) {
+  AnalyticCase c;
+  const Material solid = Material::fromVelocities(2.5, 2.0, 1.1);
+  const Material fluid = Material::acoustic(1.0, 1.0);
+  const real a = 0.6;  // solid layer depth
+  const real b = 0.4;  // fluid layer thickness
+
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 0.5, 2);
+  spec.yLines = uniformLine(0, 0.5, 2);
+  const auto zSolid = uniformLine(-a, 0, (cellsZ * 3) / 5);
+  const auto zFluid = uniformLine(0, b, (cellsZ * 2) / 5);
+  spec.zLines = zSolid;
+  spec.zLines.insert(spec.zLines.end(), zFluid.begin() + 1, zFluid.end());
+  spec.material = [](const Vec3& x) { return x[2] > 0 ? 1 : 0; };
+  spec.boundary = [b](const Vec3& x, const Vec3& n) {
+    if (n[2] > 0.5 && x[2] > b - 1e-9) {
+      return BoundaryType::kFreeSurface;
+    }
+    return BoundaryType::kRigidWall;
+  };
+  c.mesh = buildBoxMesh(spec);
+  c.materials = {solid, fluid};
+
+  const real omega = coupledModeFrequency(solid, fluid, a, b);
+  const real ks = omega / solid.pWaveSpeed();
+  const real kf = omega / fluid.pWaveSpeed();
+  const real amp = 1.0;  // solid displacement amplitude
+  // Fluid pressure amplitude from traction continuity at z = 0.
+  const real pAmp = -(solid.lambda + 2 * solid.mu) * ks * amp *
+                    std::cos(ks * a) / std::sin(kf * b);
+  const real zf = fluid.zP();
+
+  c.exact = [=](const Vec3& x, real t) {
+    std::array<real, kNumQuantities> q{};
+    const real z = x[2];
+    if (z <= 0) {
+      const real strain = ks * amp * std::cos(ks * (z + a));
+      q[kSzz] = (solid.lambda + 2 * solid.mu) * strain * std::cos(omega * t);
+      q[kSxx] = solid.lambda * strain * std::cos(omega * t);
+      q[kSyy] = q[kSxx];
+      q[kVz] = -omega * amp * std::sin(ks * (z + a)) * std::sin(omega * t);
+    } else {
+      const real p = pAmp * std::sin(kf * (b - z)) * std::cos(omega * t);
+      q[kSxx] = -p;
+      q[kSyy] = -p;
+      q[kSzz] = -p;
+      q[kVz] = (pAmp / zf) * std::cos(kf * (b - z)) * std::sin(omega * t);
+    }
+    return q;
+  };
+  c.probes = {{0.25, 0.25, -0.43}, {0.25, 0.25, -0.11}, {0.25, 0.25, 0.17},
+              {0.25, 0.25, 0.33}};
+  return c;
+}
+
+real solutionError(const Simulation& sim, const AnalyticCase& c, real t) {
+  const auto& rm = referenceMatrices(sim.config().degree);
+  real err2 = 0;
+  real ref2 = 0;
+  for (int e = 0; e < c.mesh.numElements(); ++e) {
+    const real vol = c.mesh.volume(e) * 6.0;  // |J|
+    for (std::size_t i = 0; i < rm.volQuadXi.size(); ++i) {
+      const Vec3 xi = rm.volQuadXi[i];
+      const auto got = sim.evaluate(e, xi);
+      const auto exact = c.exact(c.mesh.toPhysical(e, xi), t);
+      for (int p = 0; p < kNumQuantities; ++p) {
+        const real d = got[p] - exact[p];
+        err2 += rm.volQuadW[i] * vol * d * d;
+        ref2 += rm.volQuadW[i] * vol * exact[p] * exact[p];
+      }
+    }
+  }
+  return std::sqrt(err2 / std::max(ref2, real(1e-300)));
+}
+
+}  // namespace tsg

@@ -1,0 +1,46 @@
+#pragma once
+
+// Verification scenarios with analytic solutions (paper Sec. 6.1 refers to
+// "preliminary convergence analyses with respect to analytic solutions"):
+//
+//  * standing P waves in homogeneous elastic / acoustic boxes,
+//  * a genuinely coupled 1D elastic-acoustic eigenmode of a solid layer
+//    below a fluid layer (rigid bottom, free fluid surface), whose
+//    frequency solves  Z_s cot(k_s a) = Z_f tan(k_f b).
+
+#include <functional>
+
+#include "geometry/mesh.hpp"
+#include "physics/material.hpp"
+#include "solver/simulation.hpp"
+
+namespace tsg {
+
+struct AnalyticCase {
+  Mesh mesh;
+  std::vector<Material> materials;
+  /// Exact solution (also the initial condition at t = 0).
+  std::function<std::array<real, kNumQuantities>(const Vec3&, real t)> exact;
+  /// Suggested evaluation points inside the domain.
+  std::vector<Vec3> probes;
+};
+
+/// Standing elastic P wave in [0,1]^3, rigid walls; `cells` per direction.
+AnalyticCase elasticStandingWaveCase(int cells);
+
+/// Standing acoustic wave in [0,1]^3, rigid walls.
+AnalyticCase acousticStandingWaveCase(int cells);
+
+/// Coupled solid(depth a=0.6)/fluid(thickness b=0.4) eigenmode in a
+/// column; rigid bottom & side walls, free fluid surface.
+AnalyticCase coupledLayerModeCase(int cellsZ);
+
+/// Lowest root of Z_s cot(w a / cs_p) = Z_f tan(w b / cf) (bisection).
+real coupledModeFrequency(const Material& solid, const Material& fluid, real a,
+                          real b);
+
+/// L2-type error of a simulation state against the case's exact solution,
+/// sampled at the volume quadrature points of every element.
+real solutionError(const Simulation& sim, const AnalyticCase& c, real t);
+
+}  // namespace tsg

@@ -1,0 +1,57 @@
+#include "solver/receivers.hpp"
+
+#include <cmath>
+#include <complex>
+#include <fstream>
+
+namespace tsg {
+
+void Receiver::writeCsv(const std::string& path) const {
+  std::ofstream out(path);
+  out << "t,sxx,syy,szz,sxy,syz,sxz,vx,vy,vz\n";
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    out << times[i];
+    for (int q = 0; q < kNumQuantities; ++q) {
+      out << "," << samples[i][q];
+    }
+    out << "\n";
+  }
+}
+
+real Receiver::peak(int quantity) const {
+  real m = 0;
+  for (const auto& s : samples) {
+    m = std::max(m, std::abs(s[quantity]));
+  }
+  return m;
+}
+
+real Receiver::dominantFrequency(int quantity) const {
+  const std::size_t n = times.size();
+  if (n < 8) {
+    return 0;
+  }
+  const real duration = times.back() - times.front();
+  if (duration <= 0) {
+    return 0;
+  }
+  // Direct DFT (receiver series are short); skip the DC bin.
+  real bestPower = -1;
+  std::size_t bestK = 1;
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    std::complex<real> acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const real phase = -2.0 * M_PI * static_cast<real>(k) * i / n;
+      acc += samples[i][quantity] * std::complex<real>(std::cos(phase),
+                                                       std::sin(phase));
+    }
+    const real p = std::norm(acc);
+    if (p > bestPower) {
+      bestPower = p;
+      bestK = k;
+    }
+  }
+  return static_cast<real>(bestK) / duration;
+}
+
+}  // namespace tsg

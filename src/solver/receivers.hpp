@@ -1,0 +1,34 @@
+#pragma once
+
+// Point receivers: time series of the full state vector at fixed physical
+// locations, sampled at every corrector step of the hosting element's
+// time cluster (paper Sec. 6.2 records receivers every 0.01 s).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+struct Receiver {
+  std::string name;
+  int elem = -1;
+  Vec3 xi{};                 // reference coordinates inside `elem`
+  std::vector<real> phi;     // basis values at xi (cached)
+  std::vector<real> times;
+  std::vector<std::array<real, kNumQuantities>> samples;
+
+  /// Write "t,sxx,...,vz" rows.
+  void writeCsv(const std::string& path) const;
+
+  /// Peak absolute value of one quantity over the recorded series.
+  real peak(int quantity) const;
+
+  /// Dominant frequency of one quantity via a discrete Fourier transform
+  /// of the (assumed uniformly sampled) series; 0 if too short.
+  real dominantFrequency(int quantity) const;
+};
+
+}  // namespace tsg

@@ -1,0 +1,525 @@
+#include "solver/simulation.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "basis/dubiner.hpp"
+
+#include "geometry/reference_tet.hpp"
+#include "kernels/element_kernels.hpp"
+#include "physics/jacobians.hpp"
+#include "physics/riemann.hpp"
+
+namespace tsg {
+
+namespace {
+
+/// Inverse-transpose columns of the affine map: grad xi_c in physical
+/// coordinates, i.e. row c of J^{-1}.
+std::array<Vec3, 3> gradXi(const Mesh& mesh, int elem) {
+  const auto j = mesh.jacobianColumns(elem);
+  const real det = dot(j[0], cross(j[1], j[2]));
+  const Vec3 r0 = (1.0 / det) * cross(j[1], j[2]);
+  const Vec3 r1 = (1.0 / det) * cross(j[2], j[0]);
+  const Vec3 r2 = (1.0 / det) * cross(j[0], j[1]);
+  return {r0, r1, r2};
+}
+
+}  // namespace
+
+Simulation::Simulation(Mesh mesh, std::vector<Material> materialTable,
+                       SolverConfig cfg)
+    : mesh_(std::move(mesh)),
+      materialTable_(std::move(materialTable)),
+      cfg_(cfg),
+      rm_(referenceMatrices(cfg.degree)) {
+  nbq_ = dofCount(rm_);
+  const int n = mesh_.numElements();
+  elemMaterial_.resize(n);
+  for (int e = 0; e < n; ++e) {
+    const int id = mesh_.elements[e].material;
+    if (id < 0 || id >= static_cast<int>(materialTable_.size())) {
+      throw std::out_of_range("Simulation: material id out of range");
+    }
+    elemMaterial_[e] = materialTable_[id];
+  }
+
+  clusters_ = buildClusters(mesh_, elemMaterial_, cfg_.degree,
+                            cfg_.cflFraction, cfg_.ltsRate, cfg_.maxClusters);
+
+  dofs_.assign(static_cast<std::size_t>(n) * nbq_, 0.0);
+  stack_.assign(static_cast<std::size_t>(n) * nbq_ * (cfg_.degree + 1), 0.0);
+  tInt_.assign(static_cast<std::size_t>(n) * nbq_, 0.0);
+  buffer_.assign(static_cast<std::size_t>(n) * nbq_, 0.0);
+
+  setupElementData();
+  setupFaces();
+
+  const int threads = omp_get_max_threads();
+  const std::size_t scratchSize =
+      2 * static_cast<std::size_t>(nbq_) +
+      2 * static_cast<std::size_t>(cfg_.degree + 1) * rm_.nq * kNumQuantities +
+      2 * static_cast<std::size_t>(rm_.nq) * kNumQuantities;
+  scratch_.assign(threads, std::vector<real>(scratchSize, 0.0));
+  receiversOfElement_.assign(n, {});
+}
+
+real* Simulation::threadScratch() {
+  return scratch_[omp_get_thread_num()].data();
+}
+
+void Simulation::setupElementData() {
+  const int n = mesh_.numElements();
+  starT_.assign(static_cast<std::size_t>(n) * 3 * kNumQuantities *
+                    kNumQuantities,
+                0.0);
+  hasCoarserNeighbor_.assign(n, 0);
+  for (int e = 0; e < n; ++e) {
+    const auto g = gradXi(mesh_, e);
+    for (int c = 0; c < 3; ++c) {
+      const Matrix star = starMatrix(elemMaterial_[e], g[c]);
+      real* dst = starT_.data() +
+                  (static_cast<std::size_t>(e) * 3 + c) * kNumQuantities *
+                      kNumQuantities;
+      for (int i = 0; i < kNumQuantities; ++i) {
+        for (int j = 0; j < kNumQuantities; ++j) {
+          dst[i * kNumQuantities + j] = star(j, i);  // transposed
+        }
+      }
+    }
+    for (int f = 0; f < 4; ++f) {
+      const int nb = mesh_.faces[e][f].neighbor;
+      if (nb >= 0 && clusters_.cluster[nb] > clusters_.cluster[e]) {
+        hasCoarserNeighbor_[e] = 1;
+      }
+    }
+  }
+}
+
+void Simulation::setupFaces() {
+  const int n = mesh_.numElements();
+  const int stride = kNumQuantities * kNumQuantities;
+  faceKind_.assign(static_cast<std::size_t>(n) * 4, FaceKind::kRegular);
+  fluxMinusT_.assign(static_cast<std::size_t>(n) * 4 * stride, 0.0);
+  fluxPlusT_.assign(static_cast<std::size_t>(n) * 4 * stride, 0.0);
+  faceAux_.assign(static_cast<std::size_t>(n) * 4, -1);
+  faceScale_.assign(static_cast<std::size_t>(n) * 4, 0.0);
+  seafloorIndexOfFace_.assign(static_cast<std::size_t>(n) * 4, -1);
+
+  if (cfg_.gravity > 0) {
+    gravity_ = std::make_unique<GravityBoundary>(cfg_.degree, cfg_.gravity);
+  }
+
+  auto storeT = [stride](const Matrix& m, real scale, real* dst) {
+    for (int i = 0; i < kNumQuantities; ++i) {
+      for (int j = 0; j < kNumQuantities; ++j) {
+        dst[i * kNumQuantities + j] = scale * m(j, i);
+      }
+    }
+    (void)stride;
+  };
+
+  for (int e = 0; e < n; ++e) {
+    const real volJ = 6.0 * mesh_.volume(e);
+    for (int f = 0; f < 4; ++f) {
+      const std::size_t idx = static_cast<std::size_t>(e) * 4 + f;
+      const FaceInfo& info = mesh_.faces[e][f];
+      const Vec3 normal = mesh_.faceNormal(e, f);
+      const real scale = 2.0 * mesh_.faceArea(e, f) / volJ;
+      faceScale_[idx] = scale;
+
+      if (info.neighbor >= 0) {
+        if (info.bc == BoundaryType::kDynamicRupture) {
+          faceKind_[idx] = (e < info.neighbor) ? FaceKind::kRuptureMinus
+                                               : FaceKind::kRupturePlus;
+          continue;
+        }
+        const auto fm = interfaceFluxMatrices(elemMaterial_[e],
+                                              elemMaterial_[info.neighbor],
+                                              normal);
+        faceKind_[idx] = FaceKind::kRegular;
+        storeT(fm.fMinus, scale, fluxMinusT_.data() + idx * stride);
+        storeT(fm.fPlus, scale, fluxPlusT_.data() + idx * stride);
+        continue;
+      }
+
+      // Boundary faces.
+      if (info.bc == BoundaryType::kGravityFreeSurface && gravity_ &&
+          elemMaterial_[e].isAcoustic()) {
+        faceKind_[idx] = FaceKind::kGravity;
+        faceAux_[idx] = gravity_->addFace(mesh_, e, f, elemMaterial_[e]);
+        continue;
+      }
+      const BoundaryType folded =
+          (info.bc == BoundaryType::kGravityFreeSurface)
+              ? BoundaryType::kFreeSurface
+              : info.bc;
+      faceKind_[idx] = FaceKind::kBoundaryFolded;
+      const Matrix eff = boundaryFluxMatrix(elemMaterial_[e], folded, normal);
+      storeT(eff, scale, fluxMinusT_.data() + idx * stride);
+    }
+  }
+
+  // Seafloor recorder: elastic side of every elastic-acoustic face.
+  for (int e = 0; e < n; ++e) {
+    if (elemMaterial_[e].isAcoustic()) {
+      continue;
+    }
+    for (int f = 0; f < 4; ++f) {
+      const FaceInfo& info = mesh_.faces[e][f];
+      if (info.neighbor < 0 || !elemMaterial_[info.neighbor].isAcoustic()) {
+        continue;
+      }
+      SeafloorFace sf;
+      sf.elem = e;
+      sf.face = f;
+      sf.uplift.assign(rm_.nq, 0.0);
+      sf.qpX.resize(rm_.nq);
+      sf.qpY.resize(rm_.nq);
+      for (int i = 0; i < rm_.nq; ++i) {
+        const Vec3 xi = refFacePoint(f, rm_.faceQuadS[i], rm_.faceQuadT[i]);
+        const Vec3 x = mesh_.toPhysical(e, xi);
+        sf.qpX[i] = x[0];
+        sf.qpY[i] = x[1];
+      }
+      seafloorIndexOfFace_[static_cast<std::size_t>(e) * 4 + f] =
+          static_cast<int>(seafloorFaces_.size());
+      seafloorFaces_.push_back(std::move(sf));
+    }
+  }
+}
+
+void Simulation::setInitialCondition(const InitialCondition& f) {
+  const int n = mesh_.numElements();
+  const int nvq = static_cast<int>(rm_.volQuadXi.size());
+#pragma omp parallel for schedule(static)
+  for (int e = 0; e < n; ++e) {
+    real* q = dofsOf(e);
+    std::memset(q, 0, sizeof(real) * nbq_);
+    for (int i = 0; i < nvq; ++i) {
+      const Vec3 x = mesh_.toPhysical(e, rm_.volQuadXi[i]);
+      const auto val = f(x, mesh_.elements[e].material);
+      for (int l = 0; l < rm_.nb; ++l) {
+        const real w = rm_.volQuadW[i] * rm_.volEval(i, l);
+        for (int p = 0; p < kNumQuantities; ++p) {
+          q[l * kNumQuantities + p] += w * val[p];
+        }
+      }
+    }
+  }
+}
+
+void Simulation::setupFault(const FaultInitFn& init) {
+  fault_ = std::make_unique<FaultSolver>(cfg_.degree, cfg_.frictionLaw);
+  const int n = mesh_.numElements();
+  for (int e = 0; e < n; ++e) {
+    for (int f = 0; f < 4; ++f) {
+      const std::size_t idx = static_cast<std::size_t>(e) * 4 + f;
+      if (faceKind_[idx] != FaceKind::kRuptureMinus) {
+        continue;
+      }
+      const FaceInfo& info = mesh_.faces[e][f];
+      const int fi = fault_->addFace(mesh_, e, f, elemMaterial_[e],
+                                     elemMaterial_[info.neighbor], init);
+      faceAux_[idx] = fi;
+      faceAux_[static_cast<std::size_t>(info.neighbor) * 4 +
+               info.neighborFace] = fi;
+    }
+  }
+  ruptureFlux_.assign(static_cast<std::size_t>(fault_->numFaces()) * 2 *
+                          rm_.nq * kNumQuantities,
+                      0.0);
+}
+
+int Simulation::addReceiver(const std::string& name, const Vec3& x) {
+  const int elem = findElement(x);
+  if (elem < 0) {
+    throw std::invalid_argument("addReceiver: point outside mesh: " + name);
+  }
+  Receiver r;
+  r.name = name;
+  r.elem = elem;
+  r.xi = mesh_.toReference(elem, x);
+  r.phi.resize(rm_.nb);
+  for (int l = 0; l < rm_.nb; ++l) {
+    r.phi[l] = dubinerTet(l, cfg_.degree, r.xi);
+  }
+  receivers_.push_back(std::move(r));
+  const int id = static_cast<int>(receivers_.size()) - 1;
+  receiversOfElement_[elem].push_back(id);
+  return id;
+}
+
+void Simulation::initializeSeaSurface(const std::function<real(real, real)>& f) {
+  if (gravity_) {
+    gravity_->setEta(f);
+  }
+}
+
+void Simulation::onMacroStep(const std::function<void(real)>& cb) {
+  macroCallbacks_.push_back(cb);
+}
+
+real Simulation::macroDt() const {
+  return clusters_.dtMin *
+         static_cast<real>(std::int64_t{1} << (clusters_.numClusters - 1));
+}
+
+void Simulation::predictor(int elem) {
+  const int c = clusters_.cluster[elem];
+  const real dt = clusters_.dtMin * static_cast<real>(std::int64_t{1} << c);
+  real* scratch = threadScratch();
+  aderPredictor(rm_, starT_.data() + static_cast<std::size_t>(elem) * 3 *
+                         kNumQuantities * kNumQuantities,
+                dofsOf(elem), stackOf(elem), scratch);
+  taylorIntegrate(rm_, stackOf(elem), 0.0, dt, tIntOf(elem));
+}
+
+void Simulation::corrector(int elem, std::int64_t tick) {
+  const int c = clusters_.cluster[elem];
+  const std::int64_t span = std::int64_t{1} << c;
+  const real dt = clusters_.dtMin * static_cast<real>(span);
+  real* scratch = threadScratch();          // nbq
+  real* scratch2 = scratch + nbq_;          // nbq (neighbour integrals)
+  real* scratchBig = scratch2 + nbq_;       // gravity/rupture traces
+  real* fluxQp = scratchBig + 2 * static_cast<std::size_t>(cfg_.degree + 1) *
+                                 rm_.nq * kNumQuantities;
+
+  real* q = dofsOf(elem);
+  volumeKernel(rm_,
+               starT_.data() + static_cast<std::size_t>(elem) * 3 *
+                   kNumQuantities * kNumQuantities,
+               tIntOf(elem), q, scratch);
+
+  const int stride = kNumQuantities * kNumQuantities;
+  for (int f = 0; f < 4; ++f) {
+    const std::size_t idx = static_cast<std::size_t>(elem) * 4 + f;
+    const FaceInfo& info = mesh_.faces[elem][f];
+    switch (faceKind_[idx]) {
+      case FaceKind::kRegular: {
+        surfaceKernel(rm_, rm_.fluxLocal[f], fluxMinusT_.data() + idx * stride,
+                      tIntOf(elem), q, scratch);
+        const int nb = info.neighbor;
+        const int nbCluster = clusters_.cluster[nb];
+        const real* src = nullptr;
+        if (nbCluster == c) {
+          src = tIntOf(nb);
+        } else if (nbCluster > c) {
+          // Coarser neighbour: integrate its Taylor expansion over our
+          // sub-interval of its (twice as long) timestep.
+          const std::int64_t rel = (tick - span) % (span * 2);
+          const real off = clusters_.dtMin * static_cast<real>(rel);
+          taylorIntegrate(rm_, stackOf(nb), off, off + dt, scratch2);
+          src = scratch2;
+        } else {
+          // Finer neighbour: its buffer accumulated both sub-intervals.
+          src = buffer_.data() + static_cast<std::size_t>(nb) * nbq_;
+        }
+        surfaceKernel(rm_,
+                      rm_.fluxNeighbor[f][info.neighborFace][info.permutation],
+                      fluxPlusT_.data() + idx * stride, src, q, scratch);
+        break;
+      }
+      case FaceKind::kBoundaryFolded:
+        surfaceKernel(rm_, rm_.fluxLocal[f], fluxMinusT_.data() + idx * stride,
+                      tIntOf(elem), q, scratch);
+        break;
+      case FaceKind::kGravity:
+        gravity_->computeFlux(faceAux_[idx], rm_, stackOf(elem), dt, fluxQp,
+                              scratchBig);
+        surfaceKernelPointwise(rm_, rm_.faceEvalTW[f], faceScale_[idx], fluxQp,
+                               q);
+        break;
+      case FaceKind::kRuptureMinus: {
+        const real* staged = ruptureFlux_.data() +
+                             static_cast<std::size_t>(faceAux_[idx]) * 2 *
+                                 rm_.nq * kNumQuantities;
+        surfaceKernelPointwise(rm_, rm_.faceEvalTW[f], faceScale_[idx], staged,
+                               q);
+        break;
+      }
+      case FaceKind::kRupturePlus: {
+        const FaultFace& ff = fault_->faceAt(faceAux_[idx]);
+        const real* staged = ruptureFlux_.data() +
+                             (static_cast<std::size_t>(faceAux_[idx]) * 2 + 1) *
+                                 rm_.nq * kNumQuantities;
+        surfaceKernelPointwise(
+            rm_,
+            rm_.faceEvalNeighborTW[ff.minusFace][ff.plusFace][ff.permutation],
+            faceScale_[idx], staged, q);
+        break;
+      }
+    }
+
+    // Seafloor uplift recorder: accumulate the vertical displacement
+    // increment (time integral of v_z on the elastic side).
+    const int sf = seafloorIndexOfFace_[idx];
+    if (sf >= 0) {
+      SeafloorFace& rec = seafloorFaces_[sf];
+      const real* ti = tIntOf(elem);
+      for (int i = 0; i < rm_.nq; ++i) {
+        real dz = 0;
+        for (int l = 0; l < rm_.nb; ++l) {
+          dz += rm_.faceEval[f](i, l) * ti[l * kNumQuantities + kVz];
+        }
+        rec.uplift[i] += dz;
+      }
+    }
+  }
+
+  // Receivers hosted by this element: sample at the interval end.
+  for (int rid : receiversOfElement_[elem]) {
+    Receiver& r = receivers_[rid];
+    std::array<real, kNumQuantities> val{};
+    for (int l = 0; l < rm_.nb; ++l) {
+      for (int p = 0; p < kNumQuantities; ++p) {
+        val[p] += r.phi[l] * q[l * kNumQuantities + p];
+      }
+    }
+    r.times.push_back(clusters_.dtMin * static_cast<real>(tick));
+    r.samples.push_back(val);
+  }
+}
+
+void Simulation::computeRuptureFluxes(int clusterId, real dt,
+                                      real stepStartTime) {
+  if (!fault_) {
+    return;
+  }
+  const int nf = fault_->numFaces();
+#pragma omp parallel for schedule(dynamic, 4)
+  for (int i = 0; i < nf; ++i) {
+    const FaultFace& ff = fault_->faceAt(i);
+    if (clusters_.cluster[ff.minusElem] != clusterId) {
+      continue;
+    }
+    real* scratch = threadScratch();
+    real* traces = scratch + 2 * nbq_;
+    real* fm = ruptureFlux_.data() +
+               static_cast<std::size_t>(i) * 2 * rm_.nq * kNumQuantities;
+    real* fp = fm + rm_.nq * kNumQuantities;
+    fault_->computeFluxes(i, rm_, stackOf(ff.minusElem), stackOf(ff.plusElem),
+                          dt, stepStartTime, fm, fp, traces);
+  }
+}
+
+void Simulation::advanceTo(real tEnd) {
+  // Guard: meshes with tagged rupture faces need a configured fault.
+  if (!fault_) {
+    for (const auto& kinds : faceKind_) {
+      if (kinds == FaceKind::kRuptureMinus) {
+        throw std::logic_error(
+            "advanceTo: mesh has dynamic-rupture faces but setupFault() was "
+            "not called");
+      }
+    }
+  }
+  const std::int64_t ticksPerMacro = std::int64_t{1}
+                                     << (clusters_.numClusters - 1);
+  const real eps = 1e-12 * std::max(real(1), tEnd);
+  while (time_ < tEnd - eps) {
+    for (std::int64_t step = 0; step < ticksPerMacro; ++step) {
+      // Predictor phase at the current tick.
+      for (int c = 0; c < clusters_.numClusters; ++c) {
+        if (tick_ % (std::int64_t{1} << c) != 0) {
+          continue;
+        }
+        const auto& elems = clusters_.elementsOfCluster[c];
+        const std::int64_t resetMask = (std::int64_t{2} << c) - 1;
+        const bool reset = (tick_ & resetMask) == 0;
+#pragma omp parallel for schedule(dynamic, 32)
+        for (std::size_t k = 0; k < elems.size(); ++k) {
+          const int e = elems[k];
+          predictor(e);
+          if (hasCoarserNeighbor_[e]) {
+            real* buf = bufferOf(e);
+            const real* ti = tIntOf(e);
+            if (reset) {
+              std::memcpy(buf, ti, sizeof(real) * nbq_);
+            } else {
+              for (int i = 0; i < nbq_; ++i) {
+                buf[i] += ti[i];
+              }
+            }
+          }
+        }
+      }
+      ++tick_;
+      // Corrector phase for intervals ending at the new tick.
+      for (int c = 0; c < clusters_.numClusters; ++c) {
+        const std::int64_t span = std::int64_t{1} << c;
+        if (tick_ % span != 0) {
+          continue;
+        }
+        const real dt = clusters_.dtMin * static_cast<real>(span);
+        computeRuptureFluxes(c, dt,
+                             clusters_.dtMin * static_cast<real>(tick_ - span));
+        const auto& elems = clusters_.elementsOfCluster[c];
+#pragma omp parallel for schedule(dynamic, 32)
+        for (std::size_t k = 0; k < elems.size(); ++k) {
+          corrector(elems[k], tick_);
+        }
+        elementUpdates_ += elems.size();
+      }
+    }
+    time_ = clusters_.dtMin * static_cast<real>(tick_);
+    for (const auto& cb : macroCallbacks_) {
+      cb(time_);
+    }
+  }
+}
+
+std::array<real, kNumQuantities> Simulation::evaluate(int elem,
+                                                      const Vec3& xi) const {
+  std::array<real, kNumQuantities> val{};
+  const real* q = dofsOf(elem);
+  for (int l = 0; l < rm_.nb; ++l) {
+    const real phi = dubinerTet(l, cfg_.degree, xi);
+    for (int p = 0; p < kNumQuantities; ++p) {
+      val[p] += phi * q[l * kNumQuantities + p];
+    }
+  }
+  return val;
+}
+
+int Simulation::findElement(const Vec3& x) const {
+  const real tol = 1e-9;
+  for (int e = 0; e < mesh_.numElements(); ++e) {
+    const Vec3 xi = mesh_.toReference(e, x);
+    if (xi[0] >= -tol && xi[1] >= -tol && xi[2] >= -tol &&
+        xi[0] + xi[1] + xi[2] <= 1 + tol) {
+      return e;
+    }
+  }
+  return -1;
+}
+
+std::array<real, kNumQuantities> Simulation::evaluateAt(const Vec3& x) const {
+  const int e = findElement(x);
+  if (e < 0) {
+    throw std::invalid_argument("evaluateAt: point outside mesh");
+  }
+  return evaluate(e, mesh_.toReference(e, x));
+}
+
+std::vector<SurfaceSample> Simulation::seaSurface() const {
+  if (!gravity_) {
+    return {};
+  }
+  return gravity_->allSamples();
+}
+
+std::vector<SeafloorSample> Simulation::seafloor() const {
+  std::vector<SeafloorSample> out;
+  for (const auto& sf : seafloorFaces_) {
+    for (int i = 0; i < rm_.nq; ++i) {
+      out.push_back({sf.qpX[i], sf.qpY[i], sf.uplift[i]});
+    }
+  }
+  return out;
+}
+
+}  // namespace tsg

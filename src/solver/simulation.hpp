@@ -1,0 +1,182 @@
+#pragma once
+
+// The fully-coupled elastic-acoustic ADER-DG solver with gravity and
+// dynamic rupture -- the paper's core contribution, orchestrated:
+//
+//  * ADER space-time predictor per element (Sec. 4.1),
+//  * exact-Riemann (Godunov) fluxes with elastic-acoustic coupling
+//    (Sec. 4.2), precomputed as per-face 9x9 matrices,
+//  * gravitational free surface via a boundary ODE (Sec. 4.3),
+//  * dynamic rupture with LSW / rate-and-state friction,
+//  * rate-2 clustered local time stepping with the buffers/derivatives
+//    scheme (Sec. 4.4); OpenMP-parallel loops over each time cluster
+//    (Sec. 5.2's bulk-synchronous cluster loops).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/mesh.hpp"
+#include "gravity/gravity_surface.hpp"
+#include "kernels/reference_matrices.hpp"
+#include "physics/material.hpp"
+#include "rupture/fault_solver.hpp"
+#include "solver/receivers.hpp"
+#include "solver/time_clusters.hpp"
+
+namespace tsg {
+
+struct SolverConfig {
+  int degree = 2;
+  real cflFraction = 0.35;  // C(N) = cflFraction / (2N+1), the paper's choice
+  real gravity = 9.81;      // 0 disables the gravitational surface term
+  int ltsRate = 2;          // 2 = rate-2 clustered LTS, 1 = global stepping
+  int maxClusters = 12;
+  FrictionLawType frictionLaw = FrictionLawType::kLinearSlipWeakening;
+};
+
+/// q(x, material) -> initial state.
+using InitialCondition =
+    std::function<std::array<real, kNumQuantities>(const Vec3&, int material)>;
+
+struct SeafloorSample {
+  real x, y;
+  real uplift;  // accumulated vertical displacement of the seafloor [m]
+};
+
+class Simulation {
+ public:
+  /// `materialTable` is indexed by Element::material.  The mesh is copied.
+  Simulation(Mesh mesh, std::vector<Material> materialTable, SolverConfig cfg);
+
+  // ---- setup ----------------------------------------------------------
+  void setInitialCondition(const InitialCondition& f);
+  /// Configure every tagged dynamic-rupture face.  Must be called before
+  /// the first advance if the mesh has fault faces.
+  void setupFault(const FaultInitFn& init);
+  /// Register a receiver at physical point x (throws if outside the mesh).
+  int addReceiver(const std::string& name, const Vec3& x);
+  /// Initialise the sea-surface displacement eta(x, y) on all gravity
+  /// faces (no-op without gravity faces).
+  void initializeSeaSurface(const std::function<real(real, real)>& f);
+  /// Callback fired after every completed macro cycle (all clusters
+  /// synchronised); usable for snapshot output / one-way linking capture.
+  void onMacroStep(const std::function<void(real time)>& cb);
+
+  // ---- time stepping --------------------------------------------------
+  /// Advance in whole macro cycles until time() >= tEnd (overshoot is at
+  /// most one macro cycle).
+  void advanceTo(real tEnd);
+  real time() const { return time_; }
+  real dtMin() const { return clusters_.dtMin; }
+  real macroDt() const;
+
+  // ---- observation ----------------------------------------------------
+  std::array<real, kNumQuantities> evaluate(int elem, const Vec3& xi) const;
+  std::array<real, kNumQuantities> evaluateAt(const Vec3& x) const;
+  /// Element containing x, or -1 (brute-force; intended for setup/tests).
+  int findElement(const Vec3& x) const;
+
+  const Mesh& mesh() const { return mesh_; }
+  const SolverConfig& config() const { return cfg_; }
+  const ClusterLayout& clusters() const { return clusters_; }
+  const GravityBoundary* gravitySurface() const { return gravity_.get(); }
+  const FaultSolver* fault() const { return fault_.get(); }
+  const Receiver& receiver(int i) const { return receivers_[i]; }
+  int numReceivers() const { return static_cast<int>(receivers_.size()); }
+
+  /// Sea-surface displacement samples (empty without gravity faces).
+  std::vector<SurfaceSample> seaSurface() const;
+  /// Accumulated seafloor uplift at the elastic-acoustic interface.
+  std::vector<SeafloorSample> seafloor() const;
+
+  /// Completed element updates (the LTS time-to-solution metric).
+  std::uint64_t elementUpdates() const { return elementUpdates_; }
+
+  /// Material of an element (resolved from the table).
+  const Material& materialOf(int elem) const { return elemMaterial_[elem]; }
+
+ private:
+  enum class FaceKind : std::uint8_t {
+    kRegular,
+    kBoundaryFolded,  // free surface / absorbing via a single flux matrix
+    kGravity,
+    kRuptureMinus,
+    kRupturePlus,
+  };
+
+  void setupElementData();
+  void setupFaces();
+  void predictor(int elem);
+  void corrector(int elem, std::int64_t tick);
+  void computeRuptureFluxes(int clusterId, real dt, real stepStartTime);
+
+  real* dofsOf(int e) { return dofs_.data() + static_cast<std::size_t>(e) * nbq_; }
+  const real* dofsOf(int e) const {
+    return dofs_.data() + static_cast<std::size_t>(e) * nbq_;
+  }
+  real* stackOf(int e) {
+    return stack_.data() + static_cast<std::size_t>(e) * nbq_ * (cfg_.degree + 1);
+  }
+  const real* stackOf(int e) const {
+    return stack_.data() + static_cast<std::size_t>(e) * nbq_ * (cfg_.degree + 1);
+  }
+  real* tIntOf(int e) { return tInt_.data() + static_cast<std::size_t>(e) * nbq_; }
+  const real* tIntOf(int e) const {
+    return tInt_.data() + static_cast<std::size_t>(e) * nbq_;
+  }
+  real* bufferOf(int e) {
+    return buffer_.data() + static_cast<std::size_t>(e) * nbq_;
+  }
+
+  Mesh mesh_;
+  std::vector<Material> materialTable_;
+  std::vector<Material> elemMaterial_;
+  SolverConfig cfg_;
+  const ReferenceMatrices& rm_;
+  int nbq_ = 0;  // nb * 9
+
+  ClusterLayout clusters_;
+  real time_ = 0;
+  std::int64_t tick_ = 0;
+
+  // Per-element state.
+  std::vector<real> dofs_, stack_, tInt_, buffer_;
+  std::vector<real> starT_;  // [elem][3][81], transposed star matrices
+  std::vector<std::uint8_t> hasCoarserNeighbor_;
+
+  // Per-face data.
+  std::vector<FaceKind> faceKind_;        // [elem*4+f]
+  std::vector<real> fluxMinusT_;          // [elem*4+f][81], pre-scaled
+  std::vector<real> fluxPlusT_;           // [elem*4+f][81], pre-scaled
+  std::vector<int> faceAux_;              // gravity/rupture index per face
+  std::vector<real> faceScale_;           // 2 A_f / |J|
+
+  std::unique_ptr<GravityBoundary> gravity_;
+  std::unique_ptr<FaultSolver> fault_;
+  std::vector<real> ruptureFlux_;  // [face][2][nq*9] staging buffers
+
+  // Seafloor uplift recorder (elastic side of elastic-acoustic faces).
+  struct SeafloorFace {
+    int elem, face;
+    std::vector<real> uplift;      // [nq]
+    std::vector<real> qpX, qpY;
+  };
+  std::vector<SeafloorFace> seafloorFaces_;
+  std::vector<int> seafloorIndexOfFace_;  // [elem*4+f] or -1
+
+  std::vector<Receiver> receivers_;
+  std::vector<std::vector<int>> receiversOfElement_;
+
+  std::vector<std::function<void(real)>> macroCallbacks_;
+  std::uint64_t elementUpdates_ = 0;
+
+  // Per-thread scratch.
+  std::vector<std::vector<real>> scratch_;
+  real* threadScratch();
+};
+
+}  // namespace tsg

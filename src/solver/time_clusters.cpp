@@ -1,0 +1,90 @@
+#include "solver/time_clusters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsg {
+
+std::vector<std::int64_t> ClusterLayout::histogram() const {
+  std::vector<std::int64_t> h(numClusters, 0);
+  for (int c : cluster) {
+    ++h[c];
+  }
+  return h;
+}
+
+std::int64_t ClusterLayout::updatesPerMacroCycleLts() const {
+  const auto h = histogram();
+  std::int64_t updates = 0;
+  for (int c = 0; c < numClusters; ++c) {
+    updates += h[c] * (std::int64_t{1} << (numClusters - 1 - c));
+  }
+  return updates;
+}
+
+std::int64_t ClusterLayout::updatesPerMacroCycleGts() const {
+  return static_cast<std::int64_t>(cluster.size()) *
+         (std::int64_t{1} << (numClusters - 1));
+}
+
+real elementTimestep(const Mesh& mesh, int elem, const Material& mat,
+                     int degree, real cflFraction) {
+  const real c = cflFraction / (2.0 * degree + 1.0);
+  return c * mesh.insphereDiameter(elem) / mat.maxWaveSpeed();
+}
+
+ClusterLayout buildClusters(const Mesh& mesh,
+                            const std::vector<Material>& materialOfElement,
+                            int degree, real cflFraction, int rate,
+                            int maxClusters) {
+  const int n = mesh.numElements();
+  std::vector<real> dt(n);
+  real dtMin = 1e300;
+  for (int e = 0; e < n; ++e) {
+    dt[e] = elementTimestep(mesh, e, materialOfElement[e], degree, cflFraction);
+    dtMin = std::min(dtMin, dt[e]);
+  }
+
+  ClusterLayout layout;
+  layout.dtMin = dtMin;
+  layout.cluster.assign(n, 0);
+  if (rate > 1) {
+    for (int e = 0; e < n; ++e) {
+      const int c = static_cast<int>(std::floor(std::log2(dt[e] / dtMin)));
+      layout.cluster[e] = std::clamp(c, 0, maxClusters - 1);
+    }
+    // Normalisation: neighbours differ by <= 1 cluster; dynamic-rupture
+    // face neighbours share a cluster.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int e = 0; e < n; ++e) {
+        for (int f = 0; f < 4; ++f) {
+          const FaceInfo& info = mesh.faces[e][f];
+          if (info.neighbor < 0) {
+            continue;
+          }
+          const int limit = (info.bc == BoundaryType::kDynamicRupture)
+                                ? layout.cluster[info.neighbor]
+                                : layout.cluster[info.neighbor] + 1;
+          if (layout.cluster[e] > limit) {
+            layout.cluster[e] = limit;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  layout.numClusters = 1;
+  for (int c : layout.cluster) {
+    layout.numClusters = std::max(layout.numClusters, c + 1);
+  }
+  layout.elementsOfCluster.assign(layout.numClusters, {});
+  for (int e = 0; e < n; ++e) {
+    layout.elementsOfCluster[layout.cluster[e]].push_back(e);
+  }
+  return layout;
+}
+
+}  // namespace tsg

@@ -1,0 +1,46 @@
+#pragma once
+
+// Rate-2 clustered local time-stepping layout (paper Sec. 4.4).
+//
+// Every element gets a CFL timestep dt_e = C(N) h_e / c_p,e with
+// C(N) = cflFraction / (2N+1) and h_e the insphere diameter (Eq. 27).
+// Cluster c holds elements with dt in [2^c dt_min, 2^{c+1} dt_min); the
+// assignment is normalised so that face neighbours differ by at most one
+// cluster and both sides of a dynamic-rupture face share a cluster
+// (SeisSol's constraints).
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/mesh.hpp"
+#include "physics/material.hpp"
+
+namespace tsg {
+
+struct ClusterLayout {
+  std::vector<int> cluster;  // per element
+  std::vector<std::vector<int>> elementsOfCluster;
+  int numClusters = 0;
+  real dtMin = 0;
+
+  /// Elements per cluster (the Fig. 4 histogram).
+  std::vector<std::int64_t> histogram() const;
+
+  /// Total element updates for one macro cycle (duration 2^{cmax} dt_min),
+  /// and the same count if global time stepping were used -- their ratio
+  /// is the paper's "factor ~30" update reduction.
+  std::int64_t updatesPerMacroCycleLts() const;
+  std::int64_t updatesPerMacroCycleGts() const;
+};
+
+/// CFL timestep of a single element.
+real elementTimestep(const Mesh& mesh, int elem, const Material& mat,
+                     int degree, real cflFraction);
+
+/// Build the cluster layout.  rate == 1 produces a single cluster (GTS).
+ClusterLayout buildClusters(const Mesh& mesh,
+                            const std::vector<Material>& materialOfElement,
+                            int degree, real cflFraction, int rate,
+                            int maxClusters);
+
+}  // namespace tsg

@@ -1,0 +1,101 @@
+#pragma once
+
+// 2D nonlinear shallow-water solver -- the one-way-linked tsunami baseline
+// (paper Sec. 6.1/6.2: the sam(oa)^2-flash hydrostatic nonlinear
+// shallow-water model; see DESIGN.md for the substitution note).
+//
+// Finite volumes on a uniform Cartesian grid:
+//  * HLL flux with MUSCL (minmod) reconstruction, SSP-RK2 in time,
+//  * hydrostatic reconstruction (Audusse et al.) => well-balanced lake at
+//    rest over arbitrary bathymetry,
+//  * wetting & drying with a positivity-preserving depth clamp
+//    (inundation on sloping beaches),
+//  * time-dependent bed motion b(x, y, t) = b0 + uplift(x, y, t): the
+//    "unfiltered, time-dependent seafloor displacement" forcing of the
+//    one-way linking procedure.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+struct SweConfig {
+  int nx = 0, ny = 0;
+  real x0 = 0, y0 = 0;
+  real dx = 0, dy = 0;
+  real gravity = 9.81;
+  real cfl = 0.45;
+  real dryTolerance = 1e-6;  // [m]
+};
+
+struct SweGauge {
+  std::string name;
+  int i, j;
+  std::vector<real> times;
+  std::vector<real> surface;  // zeta = h + b
+};
+
+class SweSolver {
+ public:
+  explicit SweSolver(const SweConfig& cfg);
+
+  // ---- setup ----------------------------------------------------------
+  /// Static bed elevation b0 (negative below sea level).
+  void setBathymetry(const std::function<real(real x, real y)>& bed);
+  /// Lake at rest at the given sea level over the current bathymetry.
+  void initializeLakeAtRest(real seaLevel = 0.0);
+  /// Add a surface perturbation (only where wet).
+  void addSurfacePerturbation(const std::function<real(real, real)>& zeta);
+  /// Time-dependent bed uplift added to b0; the surface moves with the bed
+  /// (one-way linking forcing).
+  void setBedMotion(const std::function<real(real x, real y, real t)>& uplift);
+
+  int addGauge(const std::string& name, real x, real y);
+
+  // ---- stepping -------------------------------------------------------
+  /// One SSP-RK2 step at the CFL-limited timestep; returns dt.
+  real step();
+  void advanceTo(real tEnd);
+  real time() const { return time_; }
+
+  // ---- observation ----------------------------------------------------
+  const SweConfig& config() const { return cfg_; }
+  real cellX(int i) const { return cfg_.x0 + (i + 0.5) * cfg_.dx; }
+  real cellY(int j) const { return cfg_.y0 + (j + 0.5) * cfg_.dy; }
+  real depth(int i, int j) const { return h_[idx(i, j)]; }
+  real bed(int i, int j) const { return b_[idx(i, j)]; }
+  /// Free surface zeta = h + b where wet; bed elevation where dry.
+  real surface(int i, int j) const;
+  bool isWet(int i, int j) const { return h_[idx(i, j)] > cfg_.dryTolerance; }
+  const SweGauge& gauge(int g) const { return gauges_[g]; }
+  int numGauges() const { return static_cast<int>(gauges_.size()); }
+
+  /// Maximum |surface| over wet cells (wave-height diagnostic).
+  real maxSurfaceAmplitude() const;
+  /// Rightmost wet cell centre in x on row j (runup diagnostic).
+  real wetFrontX(int j) const;
+
+ private:
+  int idx(int i, int j) const { return j * cfg_.nx + i; }
+  void computeRhs(const std::vector<real>& h, const std::vector<real>& hu,
+                  const std::vector<real>& hv, std::vector<real>& dh,
+                  std::vector<real>& dhu, std::vector<real>& dhv) const;
+  real maxWaveSpeed() const;
+  void applyBedMotion(real t0, real t1);
+
+  SweConfig cfg_;
+  real time_ = 0;
+  std::vector<real> h_, hu_, hv_;
+  std::vector<real> b0_;  // static bathymetry
+  std::vector<real> b_;   // current (possibly uplifted) bed
+  std::function<real(real, real, real)> uplift_;
+  std::vector<SweGauge> gauges_;
+
+  // Workspaces for the RK stages.
+  std::vector<real> h1_, hu1_, hv1_, dh_, dhu_, dhv_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,223 @@
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "basis/dubiner.hpp"
+#include "basis/jacobi.hpp"
+#include "basis/quadrature.hpp"
+
+namespace tsg {
+namespace {
+
+TEST(Jacobi, LegendreValues) {
+  // P_2^{(0,0)}(x) = (3x^2 - 1) / 2
+  for (double x : {-1.0, -0.3, 0.0, 0.7, 1.0}) {
+    EXPECT_NEAR(jacobiP(2, 0, 0, x), 0.5 * (3 * x * x - 1), 1e-14);
+  }
+  // P_3^{(0,0)}(x) = (5x^3 - 3x) / 2
+  for (double x : {-0.9, 0.2, 1.0}) {
+    EXPECT_NEAR(jacobiP(3, 0, 0, x), 0.5 * (5 * x * x * x - 3 * x), 1e-14);
+  }
+}
+
+TEST(Jacobi, ValueAtOne) {
+  // P_n^{(a,b)}(1) = binom(n+a, n)
+  EXPECT_NEAR(jacobiP(2, 1, 0, 1.0), 3.0, 1e-13);
+  EXPECT_NEAR(jacobiP(3, 2, 0, 1.0), 10.0, 1e-13);
+  EXPECT_NEAR(jacobiP(4, 3, 1, 1.0), 35.0, 1e-12);
+}
+
+TEST(Jacobi, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (int n = 0; n <= 6; ++n) {
+    for (double x : {-0.8, -0.1, 0.4, 0.9}) {
+      const double fd =
+          (jacobiP(n, 2, 1, x + h) - jacobiP(n, 2, 1, x - h)) / (2 * h);
+      EXPECT_NEAR(jacobiPDerivative(n, 2, 1, x), fd, 1e-6 * (1 + std::abs(fd)));
+    }
+  }
+}
+
+TEST(Jacobi, NormMatchesQuadrature) {
+  for (int n = 0; n <= 5; ++n) {
+    for (double alpha : {0.0, 1.0, 3.0}) {
+      const auto q = gaussJacobi(n + 2, alpha, 0.0);
+      double s = 0;
+      for (std::size_t i = 0; i < q.points.size(); ++i) {
+        const double p = jacobiP(n, alpha, 0, q.points[i]);
+        s += q.weights[i] * p * p;
+      }
+      EXPECT_NEAR(jacobiNormSquared(n, alpha, 0), s, 1e-12 * (1 + s));
+    }
+  }
+}
+
+TEST(Quadrature, GaussLegendreNodes) {
+  const auto q = gaussJacobi(3, 0.0, 0.0);
+  // Known 3-point Gauss-Legendre rule.
+  EXPECT_NEAR(q.points[0], -std::sqrt(3.0 / 5.0), 1e-13);
+  EXPECT_NEAR(q.points[1], 0.0, 1e-13);
+  EXPECT_NEAR(q.points[2], std::sqrt(3.0 / 5.0), 1e-13);
+  EXPECT_NEAR(q.weights[0], 5.0 / 9.0, 1e-13);
+  EXPECT_NEAR(q.weights[1], 8.0 / 9.0, 1e-13);
+  EXPECT_NEAR(q.weights[2], 5.0 / 9.0, 1e-13);
+}
+
+class QuadratureExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureExactness, PolynomialOnInterval) {
+  const int n = GetParam();
+  const auto q = gaussJacobi(n, 0.0, 0.0);
+  // Exact for degree 2n-1.
+  for (int d = 0; d <= 2 * n - 1; ++d) {
+    double s = 0;
+    for (std::size_t i = 0; i < q.points.size(); ++i) {
+      s += q.weights[i] * std::pow(q.points[i], d);
+    }
+    const double exact = (d % 2 == 0) ? 2.0 / (d + 1) : 0.0;
+    EXPECT_NEAR(s, exact, 1e-12) << "degree " << d;
+  }
+}
+
+TEST_P(QuadratureExactness, MonomialsOnTetrahedron) {
+  const int n = GetParam();
+  const auto pts = tetrahedronQuadrature(n);
+  // \int_tet x^a y^b z^c = a! b! c! / (a+b+c+3)!
+  for (int a = 0; a + 0 <= 2 * n - 1; ++a) {
+    for (int b = 0; a + b <= 2 * n - 1; ++b) {
+      for (int c = 0; a + b + c <= 2 * n - 1; ++c) {
+        double s = 0;
+        for (const auto& p : pts) {
+          s += p.weight * std::pow(p.xi[0], a) * std::pow(p.xi[1], b) *
+               std::pow(p.xi[2], c);
+        }
+        const double exact =
+            std::exp(std::lgamma(a + 1.0) + std::lgamma(b + 1.0) +
+                     std::lgamma(c + 1.0) - std::lgamma(a + b + c + 4.0));
+        EXPECT_NEAR(s, exact, 1e-13) << a << " " << b << " " << c;
+      }
+    }
+  }
+}
+
+TEST_P(QuadratureExactness, MonomialsOnTriangle) {
+  const int n = GetParam();
+  const auto pts = triangleQuadrature(n);
+  for (int a = 0; a <= 2 * n - 1; ++a) {
+    for (int b = 0; a + b <= 2 * n - 1; ++b) {
+      double s = 0;
+      for (const auto& p : pts) {
+        s += p.weight * std::pow(p.xi, a) * std::pow(p.eta, b);
+      }
+      const double exact = std::exp(std::lgamma(a + 1.0) + std::lgamma(b + 1.0) -
+                                    std::lgamma(a + b + 3.0));
+      EXPECT_NEAR(s, exact, 1e-13) << a << " " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QuadratureExactness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+class DubinerBasis : public ::testing::TestWithParam<int> {};
+
+TEST_P(DubinerBasis, Orthonormal) {
+  const int degree = GetParam();
+  const int nb = basisSize(degree);
+  const auto pts = tetrahedronQuadrature(degree + 1);
+  for (int k = 0; k < nb; ++k) {
+    for (int l = k; l < nb; ++l) {
+      double s = 0;
+      for (const auto& p : pts) {
+        s += p.weight * dubinerTet(k, degree, p.xi) * dubinerTet(l, degree, p.xi);
+      }
+      EXPECT_NEAR(s, k == l ? 1.0 : 0.0, 1e-11) << "k=" << k << " l=" << l;
+    }
+  }
+}
+
+TEST_P(DubinerBasis, GradientMatchesFiniteDifference) {
+  const int degree = GetParam();
+  const int nb = basisSize(degree);
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> uni(0.05, 0.9);
+  const double h = 1e-6;
+  for (int k = 0; k < nb; ++k) {
+    for (int rep = 0; rep < 4; ++rep) {
+      Vec3 xi;
+      do {
+        xi = {uni(rng), uni(rng), uni(rng)};
+      } while (xi[0] + xi[1] + xi[2] > 0.92);
+      const Vec3 g = dubinerTetGradient(k, degree, xi);
+      for (int d = 0; d < 3; ++d) {
+        Vec3 xp = xi, xm = xi;
+        xp[d] += h;
+        xm[d] -= h;
+        const double fd =
+            (dubinerTet(k, degree, xp) - dubinerTet(k, degree, xm)) / (2 * h);
+        EXPECT_NEAR(g[d], fd, 2e-5 * (1 + std::abs(fd)))
+            << "k=" << k << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST_P(DubinerBasis, GradientFiniteOnSingularEdges) {
+  const int degree = GetParam();
+  const int nb = basisSize(degree);
+  // Points on/near the collapsed edges must not produce NaN/inf.
+  const Vec3 tricky[] = {{0, 0, 1}, {0, 1, 0}, {0.25, 0.25, 0.5}, {0, 0, 0}};
+  for (int k = 0; k < nb; ++k) {
+    for (const auto& xi : tricky) {
+      const Vec3 g = dubinerTetGradient(k, degree, xi);
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_TRUE(std::isfinite(g[d])) << "k=" << k;
+      }
+      EXPECT_TRUE(std::isfinite(dubinerTet(k, degree, xi)));
+    }
+  }
+}
+
+TEST_P(DubinerBasis, TriangleOrthonormal) {
+  const int degree = GetParam();
+  const int nb = basisSize2(degree);
+  const auto pts = triangleQuadrature(degree + 1);
+  for (int k = 0; k < nb; ++k) {
+    for (int l = k; l < nb; ++l) {
+      double s = 0;
+      for (const auto& p : pts) {
+        s += p.weight * dubinerTri(k, degree, p.xi, p.eta) *
+             dubinerTri(l, degree, p.xi, p.eta);
+      }
+      EXPECT_NEAR(s, k == l ? 1.0 : 0.0, 1e-11);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DubinerBasis, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DubinerIndices, PrefixProperty) {
+  // The degree-n basis must be a prefix of the degree-(n+1) enumeration.
+  const auto& big = tetBasisIndices(5);
+  for (int n = 0; n < 5; ++n) {
+    const auto& small = tetBasisIndices(n);
+    ASSERT_EQ(static_cast<int>(small.size()), basisSize(n));
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      EXPECT_EQ(small[i].p, big[i].p);
+      EXPECT_EQ(small[i].q, big[i].q);
+      EXPECT_EQ(small[i].r, big[i].r);
+    }
+  }
+}
+
+TEST(DubinerIndices, FirstFunctionIsConstant) {
+  // Index 0 must be the constant mode: value = sqrt(6) (1/sqrt(vol)).
+  const Vec3 pts[] = {{0.1, 0.2, 0.3}, {0.5, 0.1, 0.05}};
+  for (const auto& xi : pts) {
+    EXPECT_NEAR(dubinerTet(0, 3, xi), std::sqrt(6.0), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,238 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geometry/dual_graph.hpp"
+#include "geometry/mesh.hpp"
+#include "geometry/mesh_builder.hpp"
+#include "geometry/reference_tet.hpp"
+
+namespace tsg {
+namespace {
+
+BoxMeshSpec unitBoxSpec(int n) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, n);
+  spec.yLines = uniformLine(0, 1, n);
+  spec.zLines = uniformLine(0, 1, n);
+  return spec;
+}
+
+TEST(ReferenceTet, FaceNormalsOutward) {
+  const Vec3 expected[4] = {{0, 0, -1},
+                            {0, -1, 0},
+                            {-1, 0, 0},
+                            {1 / std::sqrt(3.0), 1 / std::sqrt(3.0),
+                             1 / std::sqrt(3.0)}};
+  for (int f = 0; f < 4; ++f) {
+    const auto& fv = kRefFaceVertices[f];
+    const Vec3 a = kRefVertices[fv[0]];
+    const Vec3 n =
+        cross(kRefVertices[fv[1]] - a, kRefVertices[fv[2]] - a);
+    const real len = std::sqrt(norm2(n));
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(n[d] / len, expected[f][d], 1e-14) << "face " << f;
+    }
+  }
+}
+
+TEST(ReferenceTet, FaceParametrisationOnFace) {
+  // chi_f(s,t) must satisfy the face's plane equation.
+  const double pts[][2] = {{0.2, 0.3}, {0.0, 0.0}, {0.5, 0.5}, {1.0, 0.0}};
+  for (const auto& st : pts) {
+    EXPECT_NEAR(refFacePoint(0, st[0], st[1])[2], 0.0, 1e-15);
+    EXPECT_NEAR(refFacePoint(1, st[0], st[1])[1], 0.0, 1e-15);
+    EXPECT_NEAR(refFacePoint(2, st[0], st[1])[0], 0.0, 1e-15);
+    const Vec3 p = refFacePoint(3, st[0], st[1]);
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-15);
+  }
+}
+
+class BoxMesh : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxMesh, ValidatesAndFillsVolume) {
+  const Mesh mesh = buildBoxMesh(unitBoxSpec(GetParam()));
+  EXPECT_EQ(mesh.validate(), "");
+  double vol = 0;
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    EXPECT_GT(mesh.volume(e), 0);
+    vol += mesh.volume(e);
+  }
+  EXPECT_NEAR(vol, 1.0, 1e-12);
+  EXPECT_EQ(mesh.numElements(), 6 * GetParam() * GetParam() * GetParam());
+}
+
+TEST_P(BoxMesh, BoundaryFaceCount) {
+  const int n = GetParam();
+  const Mesh mesh = buildBoxMesh(unitBoxSpec(n));
+  int boundary = 0;
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    for (int f = 0; f < 4; ++f) {
+      if (mesh.faces[e][f].neighbor < 0) {
+        ++boundary;
+        EXPECT_EQ(mesh.faces[e][f].bc, BoundaryType::kAbsorbing);
+      }
+    }
+  }
+  // Each cube face of the box is n^2 squares, each split into 2 triangles.
+  EXPECT_EQ(boundary, 6 * n * n * 2);
+}
+
+TEST_P(BoxMesh, PermutationMapsPointsConsistently) {
+  const Mesh mesh = buildBoxMesh(unitBoxSpec(GetParam()));
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    for (int f = 0; f < 4; ++f) {
+      const FaceInfo& info = mesh.faces[e][f];
+      if (info.neighbor < 0) {
+        continue;
+      }
+      // A point expressed in barycentric coords of this face must map to
+      // the same physical location through the neighbour's face.
+      const auto& sigma = permutation3(info.permutation);
+      const double l[3] = {0.6, 0.3, 0.1};
+      double ln[3] = {0, 0, 0};
+      for (int i = 0; i < 3; ++i) {
+        ln[sigma[i]] = l[i];
+      }
+      const Vec3 here =
+          mesh.toPhysical(e, refFacePointBary(f, l[0], l[1], l[2]));
+      const Vec3 there = mesh.toPhysical(
+          info.neighbor,
+          refFacePointBary(info.neighborFace, ln[0], ln[1], ln[2]));
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_NEAR(here[d], there[d], 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoxMesh, ::testing::Values(1, 2, 3, 4));
+
+TEST(Mesh, ToReferenceRoundTrip) {
+  const Mesh mesh = buildBoxMesh(unitBoxSpec(2));
+  const Vec3 xi{0.21, 0.13, 0.44};
+  for (int e = 0; e < mesh.numElements(); e += 7) {
+    const Vec3 x = mesh.toPhysical(e, xi);
+    const Vec3 back = mesh.toReference(e, x);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(back[d], xi[d], 1e-12);
+    }
+  }
+}
+
+TEST(Mesh, InsphereDiameterOfRegularCorner) {
+  Mesh mesh;
+  mesh.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  mesh.elements.push_back({{0, 1, 2, 3}, 0});
+  mesh.fixOrientation();
+  mesh.buildConnectivity();
+  // V = 1/6, A = 3*(1/2) + sqrt(3)/2; d = 6V/A = 1/(1.5 + sqrt(3)/2).
+  EXPECT_NEAR(mesh.insphereDiameter(0), 1.0 / (1.5 + std::sqrt(3.0) / 2.0),
+              1e-13);
+}
+
+TEST(MeshBuilder, GradedLineProperties) {
+  const auto line = gradedLine(-10.0, 10.0, 0.0, 0.1, 2.0, 1.5);
+  ASSERT_GE(line.size(), 4u);
+  EXPECT_NEAR(line.front(), -10.0, 1e-12);
+  EXPECT_NEAR(line.back(), 10.0, 1e-12);
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    EXPECT_GT(line[i], line[i - 1]);
+    EXPECT_LE(line[i] - line[i - 1], 2.0 + 1e-9);
+  }
+  // Spacing near the focus must be close to the fine spacing.
+  double nearFocus = 1e30;
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    if (line[i - 1] <= 0.0 && line[i] >= 0.0) {
+      nearFocus = line[i] - line[i - 1];
+    }
+  }
+  EXPECT_LE(nearFocus, 0.25);
+}
+
+TEST(MeshBuilder, MaterialAndBoundaryCallbacks) {
+  BoxMeshSpec spec = unitBoxSpec(2);
+  spec.material = [](const Vec3& c) { return c[2] > 0.5 ? 1 : 0; };
+  spec.boundary = [](const Vec3& c, const Vec3& n) {
+    if (n[2] > 0.5 && c[2] > 0.99) {
+      return BoundaryType::kFreeSurface;
+    }
+    return BoundaryType::kAbsorbing;
+  };
+  const Mesh mesh = buildBoxMesh(spec);
+  int freeSurface = 0;
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    EXPECT_EQ(mesh.elements[e].material, mesh.centroid(e)[2] > 0.5 ? 1 : 0);
+    for (int f = 0; f < 4; ++f) {
+      if (mesh.faces[e][f].bc == BoundaryType::kFreeSurface) {
+        ++freeSurface;
+      }
+    }
+  }
+  EXPECT_EQ(freeSurface, 8);
+}
+
+TEST(MeshBuilder, FaultFaceTagging) {
+  BoxMeshSpec spec = unitBoxSpec(2);
+  spec.faultFace = [](const Vec3& c, const Vec3& n) {
+    return std::abs(c[0] - 0.5) < 1e-9 && std::abs(std::abs(n[0]) - 1.0) < 1e-9;
+  };
+  const Mesh mesh = buildBoxMesh(spec);
+  int ruptureFaces = 0;
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    for (int f = 0; f < 4; ++f) {
+      if (mesh.faces[e][f].bc == BoundaryType::kDynamicRupture) {
+        ++ruptureFaces;
+        EXPECT_GE(mesh.faces[e][f].neighbor, 0);
+      }
+    }
+  }
+  // Mid-plane: 2x2 squares x 2 triangles, counted from both sides.
+  EXPECT_EQ(ruptureFaces, 16);
+  EXPECT_EQ(mesh.validate(), "");
+}
+
+TEST(MeshBuilder, BathymetryDeformationConforms) {
+  auto bathy = [](real x, real y) {
+    return -0.6 + 0.2 * std::sin(x * 3) * std::cos(y * 2);
+  };
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 3);
+  spec.yLines = uniformLine(0, 1, 3);
+  spec.zLines = {-2.0, -1.0, -0.6, -0.3, 0.0};
+  spec.deformZ = bathymetryDeformation(-2.0, -0.6, 0.0, bathy);
+  const Mesh mesh = buildBoxMesh(spec);
+  EXPECT_EQ(mesh.validate(), "");
+  // Vertices originally at the reference seafloor level must now sit on the
+  // bathymetry surface; top/bottom stay fixed.
+  int onSeafloor = 0;
+  for (const auto& v : mesh.vertices) {
+    if (std::abs(v[2] - bathy(v[0], v[1])) < 1e-12) {
+      ++onSeafloor;
+    }
+    EXPECT_LE(v[2], 1e-12);
+    EXPECT_GE(v[2], -2.0 - 1e-12);
+  }
+  EXPECT_EQ(onSeafloor, 16);
+}
+
+TEST(DualGraph, MatchesFaceStructure) {
+  const Mesh mesh = buildBoxMesh(unitBoxSpec(2));
+  const DualGraph g = buildDualGraph(mesh);
+  ASSERT_EQ(g.numVertices(), mesh.numElements());
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    std::set<int> expected;
+    for (int f = 0; f < 4; ++f) {
+      if (mesh.faces[e][f].neighbor >= 0) {
+        expected.insert(mesh.faces[e][f].neighbor);
+      }
+    }
+    std::set<int> got(g.adjacency.begin() + g.adjOffsets[e],
+                      g.adjacency.begin() + g.adjOffsets[e + 1]);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,238 @@
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "geometry/mesh_builder.hpp"
+#include "io/vtk_writer.hpp"
+#include "linking/kajiura.hpp"
+#include "solver/diagnostics.hpp"
+#include "solver/simulation.hpp"
+
+namespace tsg {
+namespace {
+
+TEST(Fft, RoundTripAndParseval) {
+  std::vector<std::complex<real>> a(64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::complex<real>(std::sin(0.3 * i), std::cos(0.7 * i));
+  }
+  const auto orig = a;
+  real energyTime = 0;
+  for (const auto& x : a) {
+    energyTime += std::norm(x);
+  }
+  fft(a, false);
+  real energyFreq = 0;
+  for (const auto& x : a) {
+    energyFreq += std::norm(x);
+  }
+  EXPECT_NEAR(energyFreq / a.size(), energyTime, 1e-10 * energyTime);
+  fft(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - orig[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<std::complex<real>> a(16, 0);
+  a[0] = 1;
+  fft(a, false);
+  for (const auto& x : a) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-13);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-13);
+  }
+}
+
+TEST(Kajiura, ConstantFieldInteriorInvariantWhenKernelIsNarrow) {
+  // The Kajiura kernel width is ~ the water depth; for a patch much wider
+  // than the depth the interior must be preserved (edges may dip where
+  // the zero padding bleeds in).
+  const int n = 24;
+  std::vector<real> f(n * n, 2.5);
+  const auto out = kajiuraFilter(f, n, n, 100.0, 100.0, 150.0);
+  EXPECT_NEAR(out[(n / 2) * n + n / 2], 2.5, 0.05);
+  // A deep-kernel filter legitimately spreads the finite patch out.
+  const auto deep = kajiuraFilter(f, n, n, 100.0, 100.0, 1000.0);
+  EXPECT_LT(deep[(n / 2) * n + n / 2], 2.5);
+  EXPECT_GT(deep[(n / 2) * n + n / 2], 0.5);
+}
+
+TEST(Kajiura, SingleModeAttenuatedByCoshKh) {
+  // A pure cosine of wavelength L over depth h must come back scaled by
+  // ~1/cosh(2 pi h / L) in the interior.
+  const int n = 64;
+  const real dx = 250.0;
+  const real wavelength = 8 * dx;  // 2000 m
+  const real depth = 600.0;
+  const real k = 2 * M_PI / wavelength;
+  std::vector<real> f(n * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      f[j * n + i] = std::cos(k * i * dx);
+    }
+  }
+  const auto out = kajiuraFilter(f, n, n, dx, dx, depth);
+  const real expected = 1.0 / std::cosh(k * depth);
+  // Compare at an interior crest (i = 32 is a multiple of the wavelength).
+  const int i = 32, j = 32;
+  EXPECT_NEAR(out[j * n + i], f[j * n + i] * expected,
+              0.15 * std::abs(f[j * n + i] * expected) + 0.01);
+}
+
+TEST(Kajiura, ShortWavelengthsSuppressedMoreThanLong) {
+  const int n = 64;
+  const real dx = 100.0;
+  const real depth = 1500.0;
+  auto amplitudeAfter = [&](real wavelength) {
+    const real k = 2 * M_PI / wavelength;
+    std::vector<real> f(n * n);
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        f[j * n + i] = std::cos(k * i * dx);
+      }
+    }
+    const auto out = kajiuraFilter(f, n, n, dx, dx, depth);
+    real m = 0;
+    for (int i = 16; i < 48; ++i) {
+      m = std::max(m, std::abs(out[32 * n + i]));
+    }
+    return m;
+  };
+  const real longWave = amplitudeAfter(32 * dx);
+  const real shortWave = amplitudeAfter(8 * dx);
+  EXPECT_GT(longWave, 4 * shortWave);
+}
+
+TEST(Vtk, WritesWellFormedFiles) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 2);
+  spec.yLines = uniformLine(0, 1, 2);
+  spec.zLines = uniformLine(0, 1, 2);
+  const Mesh mesh = buildBoxMesh(spec);
+  std::map<std::string, std::vector<real>> data;
+  data["material"] = std::vector<real>(mesh.numElements(), 1.0);
+  const std::string path = "/tmp/tsg_test_mesh.vtk";
+  writeVtkMesh(path, mesh, data);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# vtk DataFile Version 3.0");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("POINTS 27 double"), std::string::npos);
+  EXPECT_NE(body.find("CELLS 48 240"), std::string::npos);
+  EXPECT_NE(body.find("SCALARS material double 1"), std::string::npos);
+  std::remove(path.c_str());
+  // Size mismatch must throw.
+  data["bad"] = {1.0};
+  EXPECT_THROW(writeVtkMesh(path, mesh, data), std::invalid_argument);
+}
+
+TEST(Vtk, SurfaceFile) {
+  const std::vector<SurfaceSample> samples = {{0, 0, 0.1}, {1, 0, -0.2},
+                                              {0, 1, 0.3}};
+  const std::string path = "/tmp/tsg_test_surface.vtk";
+  writeVtkSurface(path, samples);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("POINTS 3 double"), std::string::npos);
+  EXPECT_NE(body.find("SCALARS eta double 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Energy, HydrostaticReductionForIsotropicStress) {
+  // For isotropic stress the elastic strain energy density must equal
+  // p^2 / (2K): verified through computeEnergy on a uniform state.
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 2);
+  spec.yLines = uniformLine(0, 1, 2);
+  spec.zLines = uniformLine(0, 1, 2);
+  SolverConfig cfg;
+  cfg.degree = 2;
+  cfg.gravity = 0;
+  const Material m = Material::fromVelocities(2.0, 2.0, 1.0);
+  Simulation sim(buildBoxMesh(spec), {m}, cfg);
+  const real p = 3.0;
+  sim.setInitialCondition([&](const Vec3&, int) {
+    std::array<real, 9> q{};
+    q[kSxx] = q[kSyy] = q[kSzz] = -p;
+    return q;
+  });
+  const EnergyBudget e = computeEnergy(sim);
+  const real bulk = m.lambda + 2.0 * m.mu / 3.0;
+  EXPECT_NEAR(e.strainElastic, p * p / (2 * bulk), 1e-10);
+  EXPECT_NEAR(e.kinetic, 0.0, 1e-14);
+}
+
+TEST(Energy, ClosedBoxConservesEnergyUpToUpwindDissipation) {
+  // Rigid-wall box: the DG scheme may only *dissipate* total energy.
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 3);
+  spec.yLines = uniformLine(0, 1, 3);
+  spec.zLines = uniformLine(0, 1, 3);
+  spec.boundary = [](const Vec3&, const Vec3&) {
+    return BoundaryType::kRigidWall;
+  };
+  SolverConfig cfg;
+  cfg.degree = 3;
+  cfg.gravity = 0;
+  Simulation sim(buildBoxMesh(spec), {Material::fromVelocities(2, 2, 1)}, cfg);
+  const real k = 2 * M_PI;
+  sim.setInitialCondition([&](const Vec3& x, int) {
+    std::array<real, 9> q{};
+    q[kSxx] = 3.2 * k * std::cos(k * x[0]);
+    q[kSyy] = 1.2 * k * std::cos(k * x[0]);
+    q[kSzz] = q[kSyy];
+    return q;
+  });
+  const real e0 = computeEnergy(sim).total();
+  real prev = e0;
+  for (int s = 1; s <= 4; ++s) {
+    sim.advanceTo(0.1 * s);
+    const real e = computeEnergy(sim).total();
+    EXPECT_LE(e, prev * (1 + 1e-10)) << "energy grew at step " << s;
+    prev = e;
+  }
+  // Smooth field at order 3: dissipation must be small.
+  EXPECT_GT(prev, 0.9 * e0);
+}
+
+TEST(Config, ParsesTypesAndTracksUnused) {
+  const ConfigFile cfg = ConfigFile::parse(R"(
+# comment
+scenario = palu   # trailing comment
+degree = 3
+end_time = 12.5
+vtk_output = ON
+typo_key = 7
+)");
+  EXPECT_EQ(cfg.getString("scenario", "x"), "palu");
+  EXPECT_EQ(cfg.getInt("degree", 0), 3);
+  EXPECT_NEAR(cfg.getNumber("end_time", 0), 12.5, 1e-15);
+  EXPECT_TRUE(cfg.getBool("vtk_output", false));
+  EXPECT_FALSE(cfg.getBool("missing", false));
+  const auto unused = cfg.unusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(*unused.begin(), "typo_key");
+}
+
+TEST(Config, RejectsMalformedInput) {
+  EXPECT_THROW(ConfigFile::parse("novalue\n"), std::runtime_error);
+  EXPECT_THROW(ConfigFile::parse("= 3\n"), std::runtime_error);
+  const ConfigFile cfg = ConfigFile::parse("a = abc\nb = maybe\n");
+  EXPECT_THROW(cfg.getNumber("a", 0), std::runtime_error);
+  EXPECT_THROW(cfg.getBool("b", false), std::runtime_error);
+  EXPECT_THROW(ConfigFile::load("/nonexistent/path.cfg"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,115 @@
+// Transmission/reflection across material contrasts of the same type --
+// the remaining two interface combinations of the coupling matrix
+// (elastic-acoustic is covered in test_solver.cpp):
+//  * acoustic-acoustic: an ocean thermocline-like sound-speed contrast,
+//  * elastic-elastic: a sediment-over-basement contrast.
+// Normal-incidence amplitudes must match the impedance formulas the exact
+// Riemann solver encodes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/mesh_builder.hpp"
+#include "solver/simulation.hpp"
+
+namespace tsg {
+namespace {
+
+struct ColumnResult {
+  real transmitted;
+  real reflected;
+};
+
+/// 1D column (rigid side walls) with a vertical Gaussian P pulse crossing
+/// the material interface at z = 0.5; measures |vz| peaks.
+ColumnResult runColumn(const Material& lower, const Material& upper) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 0.25, 2);
+  spec.yLines = uniformLine(0, 0.25, 2);
+  spec.zLines = uniformLine(0, 1, 14);
+  spec.material = [](const Vec3& c) { return c[2] > 0.5 ? 1 : 0; };
+  spec.boundary = [](const Vec3&, const Vec3& n) {
+    if (std::abs(n[2]) > 0.5) {
+      return BoundaryType::kAbsorbing;
+    }
+    return BoundaryType::kRigidWall;
+  };
+  SolverConfig cfg;
+  cfg.degree = 3;
+  cfg.gravity = 0;
+  Simulation sim(buildBoxMesh(spec), {lower, upper}, cfg);
+  const real z0 = 0.25, width = 0.08;
+  sim.setInitialCondition([&](const Vec3& x, int mat) {
+    std::array<real, 9> q{};
+    if (mat != 0) {
+      return q;
+    }
+    const real g = std::exp(-0.5 * std::pow((x[2] - z0) / width, 2));
+    if (lower.isAcoustic()) {
+      q[kSxx] = q[kSyy] = q[kSzz] = lower.lambda * g;
+    } else {
+      q[kSzz] = (lower.lambda + 2 * lower.mu) * g;
+      q[kSxx] = lower.lambda * g;
+      q[kSyy] = lower.lambda * g;
+    }
+    q[kVz] = -lower.pWaveSpeed() * g;  // up-going
+    return q;
+  });
+  const int rT = sim.addReceiver("t", {0.12, 0.12, 0.8});
+  const int rR = sim.addReceiver("r", {0.12, 0.12, 0.25});
+  // Timings for cp_lower ~ 2: incident passes the interface at ~0.13;
+  // reflection returns to z=0.25 around 0.22-0.35.
+  sim.advanceTo(0.6 / lower.pWaveSpeed() * 2.0);
+  ColumnResult res;
+  res.transmitted = sim.receiver(rT).peak(kVz);
+  const Receiver& rr = sim.receiver(rR);
+  res.reflected = 0;
+  const real tRefl0 = (0.5 - z0) / lower.pWaveSpeed() + (0.5 - 0.25) / lower.pWaveSpeed();
+  for (std::size_t i = 0; i < rr.times.size(); ++i) {
+    if (rr.times[i] > tRefl0 * 0.9 && rr.times[i] < tRefl0 * 2.0) {
+      res.reflected = std::max(res.reflected, std::abs(rr.samples[i][kVz]));
+    }
+  }
+  return res;
+}
+
+TEST(LayeredMedia, AcousticAcousticContrast) {
+  // Warm/cold water sound-speed contrast (exaggerated for a clear signal).
+  const Material lower = Material::acoustic(1.0, 2.0);   // Z = 2
+  const Material upper = Material::acoustic(1.2, 0.8);   // Z = 0.96
+  const ColumnResult r = runColumn(lower, upper);
+  const real z1 = lower.zP(), z2 = upper.zP();
+  const real vIn = lower.pWaveSpeed();
+  EXPECT_NEAR(r.transmitted, 2 * z1 / (z1 + z2) * vIn,
+              0.12 * 2 * z1 / (z1 + z2) * vIn);
+  EXPECT_NEAR(r.reflected, std::abs(z1 - z2) / (z1 + z2) * vIn,
+              0.25 * std::abs(z1 - z2) / (z1 + z2) * vIn + 0.02 * vIn);
+}
+
+TEST(LayeredMedia, ElasticElasticContrast) {
+  // Soft sediment over that same basement (basement below, sediment above).
+  const Material basement = Material::fromVelocities(2.5, 2.4, 1.3);
+  const Material sediment = Material::fromVelocities(1.0, 1.0, 0.45);
+  const ColumnResult r = runColumn(basement, sediment);
+  const real z1 = basement.zP(), z2 = sediment.zP();
+  const real vIn = basement.pWaveSpeed();
+  // Sediment amplification: transmitted velocity exceeds incident.
+  const real expectT = 2 * z1 / (z1 + z2) * vIn;
+  EXPECT_GT(expectT, vIn);
+  EXPECT_NEAR(r.transmitted, expectT, 0.12 * expectT);
+  EXPECT_NEAR(r.reflected, std::abs(z1 - z2) / (z1 + z2) * vIn,
+              0.25 * std::abs(z1 - z2) / (z1 + z2) * vIn + 0.02 * vIn);
+}
+
+TEST(LayeredMedia, MatchedImpedanceTransmitsCleanly) {
+  // Equal impedance but different speeds: no reflection at the interface.
+  const Material lower = Material::acoustic(1.0, 2.0);  // Z = 2
+  const Material upper = Material::acoustic(2.0, 1.0);  // Z = 2
+  const ColumnResult r = runColumn(lower, upper);
+  EXPECT_NEAR(r.transmitted, lower.pWaveSpeed(), 0.1 * lower.pWaveSpeed());
+  EXPECT_LT(r.reflected, 0.05 * lower.pWaveSpeed());
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,84 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linking/one_way_linking.hpp"
+#include "swe/swe_solver.hpp"
+
+namespace tsg {
+namespace {
+
+/// Recorder preloaded with a Gaussian final uplift.
+SeafloorUpliftRecorder gaussianRecorder(int n, real extent, real amp,
+                                        real width) {
+  SeafloorUpliftRecorder rec(n, n, 0.0, 0.0, extent / n, extent / n);
+  std::vector<SeafloorSample> samples;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const real x = (i + 0.5) * extent / n;
+      const real y = (j + 0.5) * extent / n;
+      const real r2 = (x - extent / 2) * (x - extent / 2) +
+                      (y - extent / 2) * (y - extent / 2);
+      samples.push_back({x, y, amp * std::exp(-r2 / (2 * width * width))});
+    }
+  }
+  rec.recordSnapshot(1.0, samples);
+  return rec;
+}
+
+SweSolver flatOcean(int n, real extent, real depth) {
+  SweConfig cfg;
+  cfg.nx = n;
+  cfg.ny = n;
+  cfg.x0 = 0;
+  cfg.y0 = 0;
+  cfg.dx = extent / n;
+  cfg.dy = extent / n;
+  SweSolver swe(cfg);
+  swe.setBathymetry([depth](real, real) { return -depth; });
+  swe.initializeLakeAtRest(0.0);
+  return swe;
+}
+
+TEST(InstantaneousLinking, UnfilteredSourceReproducesUplift) {
+  const real extent = 20000.0, amp = 1.2, width = 1500.0;
+  const auto rec = gaussianRecorder(48, extent, amp, width);
+  SweSolver swe = flatOcean(48, extent, 500.0);
+  applyInstantaneousSource(swe, rec, false, 500.0);
+  EXPECT_NEAR(swe.surface(24, 24), amp, 0.05 * amp);
+}
+
+TEST(InstantaneousLinking, KajiuraFilterReducesNarrowSource) {
+  const real extent = 20000.0, amp = 1.2;
+  // Narrow source relative to depth: strongly filtered.
+  const auto rec = gaussianRecorder(64, extent, amp, 400.0);
+  const real depth = 2000.0;
+  SweSolver raw = flatOcean(64, extent, depth);
+  applyInstantaneousSource(raw, rec, false, depth);
+  SweSolver filtered = flatOcean(64, extent, depth);
+  applyInstantaneousSource(filtered, rec, true, depth);
+  EXPECT_LT(filtered.surface(32, 32), 0.5 * raw.surface(32, 32));
+  // Mass (volume above sea level) is preserved by the filter.
+  auto volume = [&](SweSolver& s) {
+    real v = 0;
+    for (int j = 0; j < 64; ++j) {
+      for (int i = 0; i < 64; ++i) {
+        v += s.surface(i, j);
+      }
+    }
+    return v;
+  };
+  EXPECT_NEAR(volume(filtered), volume(raw), 0.05 * std::abs(volume(raw)));
+}
+
+TEST(InstantaneousLinking, WideSourceBarelyFiltered) {
+  const real extent = 80000.0, amp = 0.8;
+  const auto rec = gaussianRecorder(64, extent, amp, 12000.0);
+  const real depth = 500.0;  // shallow: kernel much narrower than source
+  SweSolver filtered = flatOcean(64, extent, depth);
+  applyInstantaneousSource(filtered, rec, true, depth);
+  EXPECT_NEAR(filtered.surface(32, 32), amp, 0.07 * amp);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solver/receivers.hpp"
+#include "swe/swe_solver.hpp"
+
+namespace tsg {
+namespace {
+
+TEST(ReceiverAnalysis, DominantFrequencyOfSinusoid) {
+  Receiver r;
+  const real f0 = 3.0;  // Hz
+  const int n = 256;
+  const real dt = 0.01;
+  for (int i = 0; i < n; ++i) {
+    r.times.push_back(i * dt);
+    std::array<real, kNumQuantities> s{};
+    s[kVz] = std::sin(2 * M_PI * f0 * i * dt) + 0.1;
+    r.samples.push_back(s);
+  }
+  const real measured = r.dominantFrequency(kVz);
+  // Frequency resolution is 1/duration ~ 0.39 Hz.
+  EXPECT_NEAR(measured, f0, 0.5);
+  EXPECT_NEAR(r.peak(kVz), 1.1, 0.05);
+}
+
+TEST(ReceiverAnalysis, ShortSeriesReturnsZero) {
+  Receiver r;
+  for (int i = 0; i < 4; ++i) {
+    r.times.push_back(i * 0.1);
+    r.samples.push_back({});
+  }
+  EXPECT_EQ(r.dominantFrequency(kVx), 0.0);
+}
+
+SweConfig flatBasin(int n) {
+  SweConfig cfg;
+  cfg.nx = n;
+  cfg.ny = n;
+  cfg.x0 = 0;
+  cfg.y0 = 0;
+  cfg.dx = 100;
+  cfg.dy = 100;
+  return cfg;
+}
+
+TEST(SweProperties, MassIsConservedWithoutForcing) {
+  SweSolver swe(flatBasin(40));
+  swe.setBathymetry([](real, real) { return -50.0; });
+  swe.initializeLakeAtRest(0.0);
+  swe.addSurfacePerturbation([](real x, real y) {
+    return 0.4 * std::exp(-((x - 2000) * (x - 2000) + (y - 2000) * (y - 2000)) /
+                          (2 * 250.0 * 250.0));
+  });
+  auto totalMass = [&]() {
+    real m = 0;
+    for (int j = 0; j < 40; ++j) {
+      for (int i = 0; i < 40; ++i) {
+        m += swe.depth(i, j);
+      }
+    }
+    return m;
+  };
+  const real m0 = totalMass();
+  swe.advanceTo(20.0);  // wave still inside the domain
+  EXPECT_NEAR(totalMass(), m0, 1e-8 * m0);
+}
+
+TEST(SweProperties, SymmetricPulseStaysSymmetric) {
+  SweSolver swe(flatBasin(41));
+  swe.setBathymetry([](real, real) { return -80.0; });
+  swe.initializeLakeAtRest(0.0);
+  const real cx = 2050, cy = 2050;  // centre of the 41x41 grid
+  swe.addSurfacePerturbation([&](real x, real y) {
+    return 0.5 * std::exp(-((x - cx) * (x - cx) + (y - cy) * (y - cy)) /
+                          (2 * 200.0 * 200.0));
+  });
+  swe.advanceTo(30.0);
+  for (int j = 0; j < 41; ++j) {
+    for (int i = 0; i < 41; ++i) {
+      EXPECT_NEAR(swe.surface(i, j), swe.surface(40 - i, j), 1e-10);
+      EXPECT_NEAR(swe.surface(i, j), swe.surface(i, 40 - j), 1e-10);
+      EXPECT_NEAR(swe.surface(i, j), swe.surface(j, i), 1e-10);
+    }
+  }
+}
+
+TEST(SweProperties, StillWaterHasZeroMomentum) {
+  SweSolver swe(flatBasin(20));
+  swe.setBathymetry(
+      [](real x, real y) { return -30.0 - 5.0 * std::sin(x / 211.0) * y / 2000.0; });
+  swe.initializeLakeAtRest(0.0);
+  swe.advanceTo(40.0);
+  for (int j = 0; j < 20; ++j) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_NEAR(swe.depth(i, j) > 0 ? swe.surface(i, j) : 0.0, 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(SweProperties, CflTimestepShrinksWithDepth) {
+  SweSolver shallow(flatBasin(10));
+  shallow.setBathymetry([](real, real) { return -10.0; });
+  shallow.initializeLakeAtRest(0.0);
+  SweSolver deep(flatBasin(10));
+  deep.setBathymetry([](real, real) { return -4000.0; });
+  deep.initializeLakeAtRest(0.0);
+  const real dtShallow = shallow.step();
+  const real dtDeep = deep.step();
+  EXPECT_NEAR(dtShallow / dtDeep, std::sqrt(4000.0 / 10.0), 0.5);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,252 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/mesh_builder.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "rupture/fault_solver.hpp"
+#include "solver/simulation.hpp"
+
+namespace tsg {
+namespace {
+
+TEST(Projection, PolynomialInitialConditionIsExact) {
+  // The L2 projection of a polynomial of degree <= N must be reproduced
+  // exactly by evaluate() anywhere in the element.
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 2, 2);
+  spec.yLines = uniformLine(0, 2, 2);
+  spec.zLines = uniformLine(0, 2, 2);
+  SolverConfig cfg;
+  cfg.degree = 3;
+  cfg.gravity = 0;
+  Simulation sim(buildBoxMesh(spec), {Material::fromVelocities(1, 2, 1)}, cfg);
+  auto poly = [](const Vec3& x) {
+    std::array<real, 9> q{};
+    q[kSxx] = 1.0 + 2 * x[0] - x[1] + 0.5 * x[2];
+    q[kSyy] = x[0] * x[1] - x[2] * x[2];
+    q[kVx] = x[0] * x[1] * x[2] + 3 * x[0] * x[0];
+    q[kVz] = std::pow(x[2], 3) - x[0] * x[1];
+    return q;
+  };
+  sim.setInitialCondition([&](const Vec3& x, int) { return poly(x); });
+  for (const Vec3 p : {Vec3{0.3, 1.2, 0.7}, Vec3{1.7, 0.2, 1.9},
+                       Vec3{1.0, 1.0, 1.0}, Vec3{0.05, 1.95, 0.5}}) {
+    const auto got = sim.evaluateAt(p);
+    const auto exact = poly(p);
+    for (int q = 0; q < 9; ++q) {
+      EXPECT_NEAR(got[q], exact[q], 1e-10 * (1 + std::abs(exact[q])))
+          << "comp " << q;
+    }
+  }
+}
+
+class AnisotropicMesh : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnisotropicMesh, KuhnMeshStaysConformingUnderAspectRatio) {
+  const double aspect = GetParam();
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 3);
+  spec.yLines = uniformLine(0, 1, 2);
+  spec.zLines = uniformLine(0, aspect, 4);
+  const Mesh mesh = buildBoxMesh(spec);
+  EXPECT_EQ(mesh.validate(), "");
+  real vol = 0;
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    vol += mesh.volume(e);
+    EXPECT_GT(mesh.insphereDiameter(e), 0);
+  }
+  EXPECT_NEAR(vol, aspect, 1e-12 * (1 + aspect));
+}
+
+TEST_P(AnisotropicMesh, DeformedMeshStaysConforming) {
+  const double aspect = GetParam();
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 3);
+  spec.yLines = uniformLine(0, 1, 3);
+  spec.zLines = uniformLine(-1, 0, 3);
+  spec.deformZ = [aspect](real x, real y, real z) {
+    return z * (1.0 + 0.3 * std::sin(aspect * x * 3 + y));
+  };
+  const Mesh mesh = buildBoxMesh(spec);
+  EXPECT_EQ(mesh.validate(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Aspects, AnisotropicMesh,
+                         ::testing::Values(0.05, 0.2, 1.0, 5.0, 20.0));
+
+TEST(MeshBuilder, LineUniformGradedHitsAnchorsExactly) {
+  const auto line = lineUniformGraded(-100.0, -20.0, 30.0, 120.0, 10.0, 1.4,
+                                      40.0);
+  // Uniform anchors present exactly.
+  bool has20 = false, has30 = false, has0 = false;
+  for (real v : line) {
+    has20 |= std::abs(v + 20.0) < 1e-12;
+    has30 |= std::abs(v - 30.0) < 1e-12;
+    has0 |= std::abs(v - 0.0) < 1e-12;
+  }
+  EXPECT_TRUE(has20);
+  EXPECT_TRUE(has30);
+  EXPECT_TRUE(has0);
+  EXPECT_NEAR(line.front(), -100.0, 1e-9);
+  EXPECT_NEAR(line.back(), 120.0, 1e-9);
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    EXPECT_GT(line[i], line[i - 1]);
+    EXPECT_LE(line[i] - line[i - 1], 40.0 * 1.0001);
+  }
+  // Uniform interior spacing is exactly h.
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    if (line[i - 1] >= -20.0 - 1e-9 && line[i] <= 30.0 + 1e-9) {
+      EXPECT_NEAR(line[i] - line[i - 1], 10.0, 1e-9);
+    }
+  }
+}
+
+TEST(ExecModel, IslandPruningCostsPerformance) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 8);
+  spec.yLines = uniformLine(0, 1, 8);
+  spec.zLines = uniformLine(0, 1, 4);
+  const Mesh mesh = buildBoxMesh(spec);
+  std::vector<Material> mats(mesh.numElements(),
+                             Material::fromVelocities(2700, 6000, 3464));
+  const ClusterLayout clusters = buildClusters(mesh, mats, 3, 0.35, 2, 12);
+  const auto& rm = referenceMatrices(3);
+  MachineSpec machine = superMucNg();
+  machine.network.nodesPerIsland = 2;  // exaggerate island crossings
+  machine.network.islandPruningFactor = 16.0;
+  RunConfig cfg;
+  cfg.nodes = 8;
+  cfg.ranksPerNode = 2;
+  cfg.overlapCommunication = false;  // expose the comm term
+  cfg.syncCoupling = 1.0;
+  const SimulatedRun pruned = simulateRun(mesh, clusters, rm, machine, cfg);
+  machine.network.islandPruningFactor = 1.0;
+  const SimulatedRun flat = simulateRun(mesh, clusters, rm, machine, cfg);
+  EXPECT_GE(flat.sustainedGflops, pruned.sustainedGflops);
+}
+
+TEST(ExecModel, CommunicationOverlapHelps) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 8);
+  spec.yLines = uniformLine(0, 1, 8);
+  spec.zLines = uniformLine(0, 1, 4);
+  const Mesh mesh = buildBoxMesh(spec);
+  std::vector<Material> mats(mesh.numElements(),
+                             Material::fromVelocities(2700, 6000, 3464));
+  const ClusterLayout clusters = buildClusters(mesh, mats, 3, 0.35, 2, 12);
+  const auto& rm = referenceMatrices(3);
+  const MachineSpec machine = superMucNg();
+  RunConfig cfg;
+  cfg.nodes = 8;
+  cfg.ranksPerNode = 2;
+  cfg.overlapCommunication = true;
+  const SimulatedRun with = simulateRun(mesh, clusters, rm, machine, cfg);
+  cfg.overlapCommunication = false;
+  const SimulatedRun without = simulateRun(mesh, clusters, rm, machine, cfg);
+  EXPECT_GE(with.sustainedGflops, without.sustainedGflops);
+}
+
+TEST(ExecModel, SpecialFacesIncreaseElementCost) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 2);
+  spec.yLines = uniformLine(0, 1, 2);
+  spec.zLines = uniformLine(0, 1, 2);
+  spec.boundary = [](const Vec3&, const Vec3& n) {
+    return n[2] > 0.5 ? BoundaryType::kGravityFreeSurface
+                      : BoundaryType::kAbsorbing;
+  };
+  const Mesh mesh = buildBoxMesh(spec);
+  const auto& rm = referenceMatrices(3);
+  std::uint64_t plain = 0, withGravity = 0;
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    bool hasG = false;
+    for (int f = 0; f < 4; ++f) {
+      hasG |= mesh.faces[e][f].bc == BoundaryType::kGravityFreeSurface;
+    }
+    (hasG ? withGravity : plain) =
+        std::max(hasG ? withGravity : plain, elementUpdateFlops(rm, mesh, e));
+  }
+  EXPECT_GT(withGravity, plain);
+}
+
+TEST(FaultSolver, RejectsInvalidFaces) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 2);
+  spec.yLines = uniformLine(0, 1, 2);
+  spec.zLines = uniformLine(0, 1, 2);
+  spec.material = [](const Vec3& c) { return c[2] > 0.5 ? 1 : 0; };
+  const Mesh mesh = buildBoxMesh(spec);
+  FaultSolver fault(2, FrictionLawType::kLinearSlipWeakening);
+  auto init = [](const Vec3&, const Vec3&, const Vec3&, const Vec3&) {
+    return FaultPointInit{};
+  };
+  const Material rock = Material::fromVelocities(2700, 6000, 3464);
+  const Material water = Material::acoustic(1000, 1500);
+  // Acoustic side rejected.
+  EXPECT_THROW(fault.addFace(mesh, 0, 0, rock, water, init),
+               std::invalid_argument);
+  // Boundary face rejected: find one.
+  int elem = -1, face = -1;
+  for (int e = 0; e < mesh.numElements() && elem < 0; ++e) {
+    for (int f = 0; f < 4; ++f) {
+      if (mesh.faces[e][f].neighbor < 0) {
+        elem = e;
+        face = f;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(elem, 0);
+  EXPECT_THROW(fault.addFace(mesh, elem, face, rock, rock, init),
+               std::invalid_argument);
+}
+
+TEST(ForcedNucleation, RampDelaysAndThenTriggersSlip) {
+  // A rate-and-state fault at steady state under background load must stay
+  // quiet without the ramp and fail once the ramped perturbation peaks.
+  const Material m = Material::fromVelocities(2700.0, 6000.0, 3464.0);
+  BoxMeshSpec spec;
+  const real l = 4000.0;
+  spec.xLines = uniformLine(0, l, 3);
+  spec.yLines = uniformLine(0, l, 3);
+  spec.zLines = uniformLine(0, l, 3);
+  spec.boundary = [](const Vec3&, const Vec3&) {
+    return BoundaryType::kAbsorbing;
+  };
+  spec.faultFace = [&](const Vec3& c, const Vec3& n) {
+    return std::abs(c[0] - l / 3.0) < 1e-6 && std::abs(std::abs(n[0]) - 1) < 1e-9;
+  };
+  auto run = [&](bool withRamp) {
+    SolverConfig cfg;
+    cfg.degree = 2;
+    cfg.gravity = 0;
+    cfg.frictionLaw = FrictionLawType::kRateStateFastVW;
+    Simulation sim(buildBoxMesh(spec), {m}, cfg);
+    sim.setInitialCondition([](const Vec3&, int) {
+      return std::array<real, 9>{};
+    });
+    sim.setupFault([&](const Vec3&, const Vec3&, const Vec3& t1,
+                       const Vec3& t2) {
+      FaultPointInit fp;
+      fp.sigmaN0 = -20e6;
+      // Along-strike (y) loading projected onto the face tangent basis.
+      fp.tau10 = 11.5e6 * t1[1];
+      fp.tau20 = 11.5e6 * t2[1];
+      fp.initialSlipRate = 1e-12;
+      if (withRamp) {
+        fp.tauNucl1 = 7e6 * t1[1];
+        fp.tauNucl2 = 7e6 * t2[1];
+        fp.nucleationRiseTime = 0.2;
+      }
+      return fp;
+    });
+    sim.advanceTo(0.5);
+    return sim.fault()->maxSlipRate();
+  };
+  EXPECT_LT(run(false), 1e-6);
+  EXPECT_GT(run(true), 0.1);
+}
+
+}  // namespace
+}  // namespace tsg

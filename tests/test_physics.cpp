@@ -1,0 +1,309 @@
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "physics/jacobians.hpp"
+#include "physics/material.hpp"
+#include "physics/riemann.hpp"
+
+namespace tsg {
+namespace {
+
+Material rock() { return Material::fromVelocities(2700, 6000, 3464); }
+Material ocean() { return Material::acoustic(1000, 1500); }
+
+Matrix applyTo(const Matrix& m, const std::vector<real>& v) {
+  Matrix x(kNumQuantities, 1);
+  for (int i = 0; i < kNumQuantities; ++i) {
+    x(i, 0) = v[i];
+  }
+  return m * x;
+}
+
+TEST(Material, SpeedRoundTrip) {
+  const Material m = Material::fromVelocities(2700, 6000, 3464);
+  EXPECT_NEAR(m.pWaveSpeed(), 6000, 1e-9);
+  EXPECT_NEAR(m.sWaveSpeed(), 3464, 1e-9);
+  EXPECT_FALSE(m.isAcoustic());
+  const Material a = Material::acoustic(1000, 1500);
+  EXPECT_NEAR(a.pWaveSpeed(), 1500, 1e-9);
+  EXPECT_TRUE(a.isAcoustic());
+}
+
+TEST(Jacobians, PWaveEigenvector) {
+  const Material m = rock();
+  const Matrix a = jacobianMatrix(m, 0);
+  const real cp = m.pWaveSpeed();
+  const std::vector<real> r = {m.lambda + 2 * m.mu,
+                               m.lambda,
+                               m.lambda,
+                               0,
+                               0,
+                               0,
+                               cp,
+                               0,
+                               0};
+  const Matrix ar = applyTo(a, r);
+  for (int i = 0; i < kNumQuantities; ++i) {
+    EXPECT_NEAR(ar(i, 0), -cp * r[i], 1e-6 * (1 + std::abs(cp * r[i])));
+  }
+}
+
+TEST(Jacobians, SWaveEigenvector) {
+  const Material m = rock();
+  const Matrix b = jacobianMatrix(m, 1);
+  const real cs = m.sWaveSpeed();
+  // S wave propagating in y, polarised in x: stress sxy, velocity vx.
+  const std::vector<real> r = {0, 0, 0, m.mu, 0, 0, cs, 0, 0};
+  const Matrix br = applyTo(b, r);
+  for (int i = 0; i < kNumQuantities; ++i) {
+    EXPECT_NEAR(br(i, 0), -cs * r[i], 1e-6 * (1 + std::abs(cs * r[i])));
+  }
+}
+
+TEST(Jacobians, RotationalInvariance) {
+  // T(n) A T^{-1}(n) must equal n_x A + n_y B + n_z C (paper Eq. 15).
+  const Material m = rock();
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<real> uni(-1, 1);
+  for (int rep = 0; rep < 10; ++rep) {
+    Vec3 n{uni(rng), uni(rng), uni(rng)};
+    const real len = std::sqrt(norm2(n));
+    n = {n[0] / len, n[1] / len, n[2] / len};
+    Vec3 s, t;
+    faceBasis(n, s, t);
+    // Orthonormality of the face basis.
+    EXPECT_NEAR(dot(n, s), 0, 1e-12);
+    EXPECT_NEAR(dot(n, t), 0, 1e-12);
+    EXPECT_NEAR(dot(s, t), 0, 1e-12);
+    EXPECT_NEAR(norm2(s), 1, 1e-12);
+    EXPECT_NEAR(norm2(t), 1, 1e-12);
+
+    const Matrix lhs = rotationMatrix(n, s, t) *
+                       (jacobianMatrix(m, 0) * rotationMatrixInverse(n, s, t));
+    Matrix rhs(kNumQuantities, kNumQuantities);
+    for (int d = 0; d < 3; ++d) {
+      const Matrix ad = jacobianMatrix(m, d);
+      for (int i = 0; i < kNumQuantities; ++i) {
+        for (int j = 0; j < kNumQuantities; ++j) {
+          rhs(i, j) += n[d] * ad(i, j);
+        }
+      }
+    }
+    EXPECT_LT((lhs - rhs).maxAbs(), 1e-6 * rhs.maxAbs());
+  }
+}
+
+TEST(Jacobians, RotationInverseIsInverse) {
+  Vec3 n{0.3, -0.5, 0.81};
+  const real len = std::sqrt(norm2(n));
+  n = {n[0] / len, n[1] / len, n[2] / len};
+  Vec3 s, t;
+  faceBasis(n, s, t);
+  const Matrix prod = rotationMatrix(n, s, t) * rotationMatrixInverse(n, s, t);
+  EXPECT_LT((prod - Matrix::identity(kNumQuantities)).maxAbs(), 1e-12);
+}
+
+TEST(Jacobians, StarMatrixLinearCombination) {
+  const Material m = rock();
+  const Vec3 g{0.4, -1.2, 2.5};
+  const Matrix star = starMatrix(m, g);
+  Matrix expected(kNumQuantities, kNumQuantities);
+  for (int d = 0; d < 3; ++d) {
+    const Matrix ad = jacobianMatrix(m, d);
+    for (int i = 0; i < kNumQuantities; ++i) {
+      for (int j = 0; j < kNumQuantities; ++j) {
+        expected(i, j) += g[d] * ad(i, j);
+      }
+    }
+  }
+  EXPECT_LT((star - expected).maxAbs(), 1e-12 * expected.maxAbs());
+}
+
+class RiemannConsistency
+    : public ::testing::TestWithParam<std::pair<Material, Material>> {};
+
+TEST_P(RiemannConsistency, EqualTracesGiveExactFlux) {
+  // With q^- = q^+ and identical materials, F^- + F^+ must reproduce
+  // Ahat = n_x A + n_y B + n_z C exactly on states with no shear stress in
+  // acoustic media.
+  const auto [mm, mp] = GetParam();
+  if (!(mm.rho == mp.rho && mm.lambda == mp.lambda && mm.mu == mp.mu)) {
+    GTEST_SKIP();
+  }
+  const Vec3 n = {1 / std::sqrt(3.0), 1 / std::sqrt(3.0), 1 / std::sqrt(3.0)};
+  const auto fm = interfaceFluxMatrices(mm, mp, n);
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<real> uni(-1, 1);
+  std::vector<real> q(kNumQuantities);
+  for (auto& v : q) {
+    v = uni(rng);
+  }
+  if (mm.isAcoustic()) {
+    // A physical acoustic state: isotropic stress, no shear.
+    q[kSyy] = q[kSxx];
+    q[kSzz] = q[kSxx];
+    q[kSxy] = q[kSyz] = q[kSxz] = 0;
+  }
+  Matrix ahat(kNumQuantities, kNumQuantities);
+  for (int d = 0; d < 3; ++d) {
+    const Matrix ad = jacobianMatrix(mm, d);
+    for (int i = 0; i < kNumQuantities; ++i) {
+      for (int j = 0; j < kNumQuantities; ++j) {
+        ahat(i, j) += n[d] * ad(i, j);
+      }
+    }
+  }
+  const Matrix viaFlux = applyTo(fm.fMinus, q) + applyTo(fm.fPlus, q);
+  const Matrix direct = applyTo(ahat, q);
+  for (int i = 0; i < kNumQuantities; ++i) {
+    EXPECT_NEAR(viaFlux(i, 0), direct(i, 0), 1e-5 * (1 + std::abs(direct(i, 0))))
+        << "component " << i;
+  }
+}
+
+TEST_P(RiemannConsistency, MiddleStateSatisfiesInterfaceConditions) {
+  const auto [mm, mp] = GetParam();
+  Matrix gm, gp;
+  godunovStateOperators(mm, mp, gm, gp);
+  // Mirrored solve for the plus-side middle state: swap sides; the plus
+  // side sees the normal flipped, which in the face frame means the roles
+  // of left/right-going waves swap.  We verify the minus middle state
+  // against the plus middle state computed from the swapped problem with
+  // negated normal components handled by symmetry of the conditions.
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<real> uni(-1, 1);
+  std::vector<real> qm(kNumQuantities), qp(kNumQuantities);
+  for (int i = 0; i < kNumQuantities; ++i) {
+    qm[i] = uni(rng);
+    qp[i] = uni(rng);
+  }
+  if (mm.isAcoustic()) {
+    qm[kSyy] = qm[kSxx];
+    qm[kSzz] = qm[kSxx];
+    qm[kSxy] = qm[kSyz] = qm[kSxz] = 0;
+  }
+  if (mp.isAcoustic()) {
+    qp[kSyy] = qp[kSxx];
+    qp[kSzz] = qp[kSxx];
+    qp[kSxy] = qp[kSyz] = qp[kSxz] = 0;
+  }
+  const Matrix qb = applyTo(gm, qm) + applyTo(gp, qp);
+  if (!mm.isAcoustic() && mp.isAcoustic()) {
+    // Fluid-solid: tangential traction must vanish on the solid side.
+    EXPECT_NEAR(qb(kSxy, 0), 0, 1e-9);
+    EXPECT_NEAR(qb(kSxz, 0), 0, 1e-9);
+  }
+  // The Rankine-Hugoniot conditions: qb - qm must be a combination of
+  // left-going eigenvectors, i.e. orthogonal to the left eigenvectors of
+  // the other families.  We check the P-wave RH relation directly:
+  // Ahat (qb - qm) = -cp (qb - qm) restricted to the P subspace is hard to
+  // isolate; instead verify that Ahat(qb-qm) + cp(qb-qm) has no component
+  // in (sxx, vx) when the minus side is acoustic (single wave family).
+  if (mm.isAcoustic()) {
+    const Matrix a = jacobianMatrix(mm, 0);
+    const real cp = mm.pWaveSpeed();
+    Matrix diff(kNumQuantities, 1);
+    for (int i = 0; i < kNumQuantities; ++i) {
+      diff(i, 0) = qb(i, 0) - qm[i];
+    }
+    const Matrix adiff = a * diff;
+    EXPECT_NEAR(adiff(kSxx, 0), -cp * diff(kSxx, 0),
+                1e-6 * (1 + std::abs(cp * diff(kSxx, 0))));
+    EXPECT_NEAR(adiff(kVx, 0), -cp * diff(kVx, 0),
+                1e-6 * (1 + std::abs(cp * diff(kVx, 0))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MaterialPairs, RiemannConsistency,
+    ::testing::Values(std::make_pair(rock(), rock()),
+                      std::make_pair(rock(), ocean()),
+                      std::make_pair(ocean(), rock()),
+                      std::make_pair(ocean(), ocean()),
+                      std::make_pair(rock(),
+                                     Material::fromVelocities(3775, 7639.9,
+                                                              4229.4))));
+
+TEST(Riemann, ElasticAcousticImpedanceFormula) {
+  // Paper Eq. (18): alpha_1 = ZpM ZpP/(ZpM+ZpP) ((w1m-w1p)/ZpP + w7m - w7p)
+  // expressed in terms of the middle-state normal stress:
+  // sxx^b = sxx^- + alpha_1 (from the P eigenvector normalisation used in
+  // the paper).  We verify the resulting continuity relations instead:
+  // sxx^b and vx^b continuous across the interface middle states.
+  const Material mm = rock();
+  const Material mp = ocean();
+  Matrix gm, gp;
+  godunovStateOperators(mm, mp, gm, gp);
+  // Plus-side middle state operators come from the swapped configuration.
+  Matrix gmSwap, gpSwap;
+  godunovStateOperators(mp, mm, gmSwap, gpSwap);
+
+  std::vector<real> qm = {1e5, 2e4, -3e4, 4e3, 2e3, -1e3, 0.5, -0.2, 0.3};
+  std::vector<real> qp = {-2e4, -2e4, -2e4, 0, 0, 0, 0.1, 0.4, -0.6};
+
+  const Matrix qbMinus = applyTo(gm, qm) + applyTo(gp, qp);
+  // Swapped problem: minus side is the ocean; with the normal flipped the
+  // state components transform as (sxx, vx) -> (sxx, -vx) for the normal
+  // quantities and tangential components flip sign selectively.  For the
+  // continuity check we only need sxx (invariant) and vx (sign flip).
+  std::vector<real> qmF = qp, qpF = qm;
+  for (int c : {kVx, kSxy, kSxz}) {
+    qmF[c] = -qmF[c];
+    qpF[c] = -qpF[c];
+  }
+  const Matrix qbPlus = applyTo(gmSwap, qmF) + applyTo(gpSwap, qpF);
+  EXPECT_NEAR(qbMinus(kSxx, 0), qbPlus(kSxx, 0),
+              1e-9 * (1 + std::abs(qbMinus(kSxx, 0))));
+  EXPECT_NEAR(qbMinus(kVx, 0), -qbPlus(kVx, 0),
+              1e-9 * (1 + std::abs(qbMinus(kVx, 0))));
+}
+
+TEST(Riemann, FreeSurfaceMiddleStateHasZeroTraction) {
+  const Material m = rock();
+  Matrix gm, gp;
+  godunovStateOperators(m, m, gm, gp);
+  const Matrix mirror = freeSurfaceMirror();
+  std::vector<real> q = {2e5, -1e4, 3e4, 5e3, -2e3, 7e3, 0.4, -0.1, 0.8};
+  const Matrix ghost = applyTo(mirror, q);
+  std::vector<real> qg(kNumQuantities);
+  for (int i = 0; i < kNumQuantities; ++i) {
+    qg[i] = ghost(i, 0);
+  }
+  const Matrix qb = applyTo(gm, q) + applyTo(gp, qg);
+  EXPECT_NEAR(qb(kSxx, 0), 0, 1e-7);
+  EXPECT_NEAR(qb(kSxy, 0), 0, 1e-7);
+  EXPECT_NEAR(qb(kSxz, 0), 0, 1e-7);
+}
+
+TEST(Riemann, AbsorbingDampsOutgoingWave) {
+  // A purely incoming wave (right-going characteristic from outside) must
+  // receive zero flux; a purely outgoing one passes through.
+  const Material m = rock();
+  const Vec3 n{1, 0, 0};
+  const Matrix f = boundaryFluxMatrix(m, BoundaryType::kAbsorbing, n);
+  // Outgoing P wave at x-normal: left-going eigenvector travels in -x, so
+  // the *outgoing* (toward +x, leaving the domain) is the right-going one:
+  const real cp = m.pWaveSpeed();
+  std::vector<real> out = {m.lambda + 2 * m.mu, m.lambda, m.lambda, 0, 0, 0,
+                           -cp, 0, 0};
+  // Incoming would be the left-going eigenvector:
+  std::vector<real> in = {m.lambda + 2 * m.mu, m.lambda, m.lambda, 0, 0, 0,
+                          cp, 0, 0};
+  const Matrix fin = applyTo(f, in);
+  const Matrix fout = applyTo(f, out);
+  // Incoming characteristic: flux zero (boundary supplies nothing).
+  for (int i = 0; i < kNumQuantities; ++i) {
+    EXPECT_NEAR(fin(i, 0), 0, 1e-6 * (m.lambda + 2 * m.mu));
+  }
+  // Outgoing characteristic: flux = Ahat q (full upwind).
+  const Matrix a = jacobianMatrix(m, 0);
+  const Matrix aq = applyTo(a, out);
+  for (int i = 0; i < kNumQuantities; ++i) {
+    EXPECT_NEAR(fout(i, 0), aq(i, 0), 1e-6 * (1 + std::abs(aq(i, 0))));
+  }
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,224 @@
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+#include "physics/jacobians.hpp"
+#include "scenario/megathrust.hpp"
+#include "scenario/palu.hpp"
+#include "scenario/plane_wave.hpp"
+
+namespace tsg {
+namespace {
+
+TEST(MegathrustScenario, MeshAndFaultGeometry) {
+  MegathrustParams p;
+  p.h = 3000;
+  p.faultAlongStrike = 12000;
+  p.faultDownDip = 9000;
+  p.domainPadding = 9000;
+  const MegathrustScenario s = buildMegathrustScenario(p);
+  EXPECT_EQ(s.mesh.validate(), "");
+
+  int faultFaces = 0;
+  int gravityFaces = 0;
+  const real diag = 1.0 / std::sqrt(2.0);
+  for (int e = 0; e < s.mesh.numElements(); ++e) {
+    for (int f = 0; f < 4; ++f) {
+      const auto& info = s.mesh.faces[e][f];
+      if (info.bc == BoundaryType::kDynamicRupture) {
+        ++faultFaces;
+        // Fault faces must lie exactly on the 45-degree plane.
+        const Vec3 c = s.mesh.faceCentroid(e, f);
+        EXPECT_NEAR(c[0] - c[2], s.faultTraceX + p.waterDepth, 1e-6);
+        const Vec3 n = s.mesh.faceNormal(e, f);
+        EXPECT_NEAR(std::abs(n[0] - n[2]) * diag, 1.0, 1e-9);
+        // Both sides elastic.
+        EXPECT_EQ(s.mesh.elements[e].material, 0);
+        EXPECT_EQ(s.mesh.elements[info.neighbor].material, 0);
+      }
+      if (info.bc == BoundaryType::kGravityFreeSurface) {
+        ++gravityFaces;
+        EXPECT_EQ(s.mesh.elements[e].material, 1);  // acoustic on top
+      }
+    }
+  }
+  EXPECT_GT(faultFaces, 20);
+  EXPECT_GT(gravityFaces, 20);
+  // Expected fault area: alongStrike x downDip * sqrt(2) (45-degree dip).
+  real area = 0;
+  for (int e = 0; e < s.mesh.numElements(); ++e) {
+    for (int f = 0; f < 4; ++f) {
+      if (s.mesh.faces[e][f].bc == BoundaryType::kDynamicRupture) {
+        area += s.mesh.faceArea(e, f);
+      }
+    }
+  }
+  area /= 2;  // counted from both sides
+  const real expected = p.faultAlongStrike * p.faultDownDip * std::sqrt(2.0);
+  EXPECT_NEAR(area, expected, 0.35 * expected);
+}
+
+TEST(MegathrustScenario, DryVariantHasNoOcean) {
+  MegathrustParams p;
+  p.h = 3000;
+  p.faultAlongStrike = 12000;
+  p.faultDownDip = 9000;
+  p.domainPadding = 9000;
+  p.withWater = false;
+  const MegathrustScenario s = buildMegathrustScenario(p);
+  for (int e = 0; e < s.mesh.numElements(); ++e) {
+    EXPECT_EQ(s.mesh.elements[e].material, 0);
+    for (int f = 0; f < 4; ++f) {
+      EXPECT_NE(s.mesh.faces[e][f].bc, BoundaryType::kGravityFreeSurface);
+    }
+  }
+}
+
+TEST(MegathrustScenario, FaultInitNucleationPatch) {
+  MegathrustParams p;
+  const MegathrustScenario s = buildMegathrustScenario(p);
+  const Vec3 n = {1 / std::sqrt(2.0), 0, -1 / std::sqrt(2.0)};
+  Vec3 t1, t2;
+  faceBasis(n, t1, t2);
+  // Mid-depth point at the nucleation centre: overstressed.
+  const Vec3 centre{/* on plane */ 0 + (-p.waterDepth - p.faultDownDip / 2) +
+                        p.waterDepth + 0.0,
+                    0.0, -p.waterDepth - p.faultDownDip / 2};
+  const FaultPointInit atCentre = s.faultInit(centre, n, t1, t2);
+  const real tauCentre = std::hypot(atCentre.tau10, atCentre.tau20);
+  EXPECT_NEAR(tauCentre, p.tauNucleation, 1e-6 * p.tauNucleation);
+  // Far point: background.
+  Vec3 far = centre;
+  far[1] = p.faultAlongStrike / 2 - 500.0;
+  const FaultPointInit atFar = s.faultInit(far, n, t1, t2);
+  EXPECT_NEAR(std::hypot(atFar.tau10, atFar.tau20), p.tauBackground,
+              1e-6 * p.tauBackground);
+  // Near-seafloor point: strong cohesion.
+  Vec3 shallow = centre;
+  shallow[2] = -p.waterDepth - 200.0;
+  shallow[0] = shallow[2] + p.waterDepth;
+  const FaultPointInit atTop = s.faultInit(shallow, n, t1, t2);
+  EXPECT_GT(atTop.lsw.cohesion, 10e6);
+  EXPECT_LT(atFar.lsw.cohesion + 1.0, atTop.lsw.cohesion);
+}
+
+TEST(PaluScenario, MeshBathymetryAndFault) {
+  PaluParams p;
+  p.hFault = 3000;
+  p.hWaterVertical = 350;
+  const PaluScenario s = buildPaluScenario(p);
+  EXPECT_EQ(s.mesh.validate(), "");
+
+  // Bathymetry: deep in the bay, shallow on the shelf.
+  EXPECT_LT(s.bathymetry(0.0, -12000.0), -0.8 * p.bayDepth);
+  EXPECT_GT(s.bathymetry(15000.0, -12000.0), -1.5 * p.shelfDepth);
+  // Everything stays under water (clamped-minimum-depth substitution).
+  for (real x : {-15000.0, 0.0, 15000.0}) {
+    for (real y : {-30000.0, -10000.0, 0.0, 25000.0}) {
+      EXPECT_LT(s.bathymetry(x, y), 0.0);
+    }
+  }
+
+  int seg1 = 0, seg2 = 0;
+  for (int e = 0; e < s.mesh.numElements(); ++e) {
+    for (int f = 0; f < 4; ++f) {
+      if (s.mesh.faces[e][f].bc != BoundaryType::kDynamicRupture) {
+        continue;
+      }
+      const Vec3 c = s.mesh.faceCentroid(e, f);
+      if (std::abs(c[0] - p.segment1X) < 1.0) {
+        ++seg1;
+      } else if (std::abs(c[0] - p.segment2X) < 1.0) {
+        ++seg2;
+      } else {
+        ADD_FAILURE() << "fault face off both segments at x=" << c[0];
+      }
+      EXPECT_EQ(s.mesh.elements[e].material, 0);
+    }
+  }
+  EXPECT_GT(seg1, 10);
+  EXPECT_GT(seg2, 10);
+}
+
+TEST(PaluScenario, StrikeSlipLoading) {
+  PaluParams p;
+  const PaluScenario s = buildPaluScenario(p);
+  const Vec3 n{1, 0, 0};
+  Vec3 t1, t2;
+  faceBasis(n, t1, t2);
+  const Vec3 x{p.segment1X, 0.0, -6000.0};
+  const FaultPointInit fp = s.faultInit(x, n, t1, t2);
+  // Traction is horizontal along strike: reconstruct the vector.
+  const Vec3 tau = {fp.tau10 * t1[0] + fp.tau20 * t2[0],
+                    fp.tau10 * t1[1] + fp.tau20 * t2[1],
+                    fp.tau10 * t1[2] + fp.tau20 * t2[2]};
+  EXPECT_NEAR(tau[0], 0.0, 1e-6);
+  EXPECT_NEAR(tau[2], 0.0, 1e-6);
+  EXPECT_NEAR(std::abs(tau[1]), p.tauBackground, 1e-6 * p.tauBackground);
+  // Stress ratio admits supershear: S = (tau_s - tau0)/(tau0 - tau_d) with
+  // RS steady strength ~ f0 * sigma_n.
+  const real strength = 0.6 * (-p.sigmaN0);
+  const real dynamic = 0.1 * (-p.sigmaN0);
+  const real sRatio =
+      (strength - p.tauBackground) / (p.tauBackground - dynamic);
+  EXPECT_LT(sRatio, 1.77);  // Burridge-Andrews supershear criterion
+}
+
+TEST(CoupledMode, DispersionRootSolvesEquation) {
+  const Material solid = Material::fromVelocities(2.5, 2.0, 1.1);
+  const Material fluid = Material::acoustic(1.0, 1.0);
+  const real a = 0.6, b = 0.4;
+  const real w = coupledModeFrequency(solid, fluid, a, b);
+  EXPECT_GT(w, 0);
+  const real lhs = solid.zP() / std::tan(w * a / solid.pWaveSpeed());
+  const real rhs = fluid.zP() * std::tan(w * b / fluid.pWaveSpeed());
+  EXPECT_NEAR(lhs, rhs, 1e-8 * (std::abs(lhs) + 1));
+}
+
+TEST(CoupledMode, ExactSolutionSatisfiesInterfaceConditions) {
+  const AnalyticCase c = coupledLayerModeCase(10);
+  // Traction and normal velocity continuous at z = 0 for several times.
+  for (real t : {0.0, 0.13, 0.31, 0.77}) {
+    const auto below = c.exact({0.25, 0.25, -1e-9}, t);
+    const auto above = c.exact({0.25, 0.25, +1e-9}, t);
+    EXPECT_NEAR(below[kSzz], above[kSzz], 1e-6 * (1 + std::abs(below[kSzz])));
+    EXPECT_NEAR(below[kVz], above[kVz], 1e-6 * (1 + std::abs(below[kVz])));
+  }
+  // Fluid pressure vanishes at the free surface.
+  const auto top = c.exact({0.25, 0.25, 0.4}, 0.37);
+  EXPECT_NEAR(top[kSxx], 0.0, 1e-9);
+}
+
+TEST(CoupledMode, SimulationTracksAnalyticSolution) {
+  const AnalyticCase c = coupledLayerModeCase(15);
+  SolverConfig cfg;
+  cfg.degree = 3;
+  cfg.gravity = 0;
+  Simulation sim(c.mesh, c.materials, cfg);
+  sim.setInitialCondition([&](const Vec3& x, int) { return c.exact(x, 0.0); });
+  sim.advanceTo(0.3);
+  EXPECT_LT(solutionError(sim, c, sim.time()), 2e-3);
+}
+
+TEST(TableUtility, FormatsAndWritesCsv) {
+  Table t({"a", "b"});
+  t.row() << "x" << 1.5;
+  t.row() << 7 << "y";
+  const std::string path = "/tmp/tsg_table_test.csv";
+  t.writeCsv(path);
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "a,b\n");
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "x,1.5\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,367 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/mesh_builder.hpp"
+#include "solver/simulation.hpp"
+
+namespace tsg {
+namespace {
+
+// Normalised materials keep the test timesteps benign.
+Material testRock() { return Material::fromVelocities(2.0, 2.0, 1.0); }
+Material testWater() { return Material::acoustic(1.0, 1.0); }
+
+BoxMeshSpec cube(int n, BoundaryType bc) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, n);
+  spec.yLines = uniformLine(0, 1, n);
+  spec.zLines = uniformLine(0, 1, n);
+  spec.boundary = [bc](const Vec3&, const Vec3&) { return bc; };
+  return spec;
+}
+
+TEST(Solver, HydrostaticStateIsExactSteadyState) {
+  // Isotropic stress with zero velocity is compatible with rigid walls:
+  // the scheme must preserve it to machine precision.
+  const Mesh mesh = buildBoxMesh(cube(3, BoundaryType::kRigidWall));
+  SolverConfig cfg;
+  cfg.degree = 2;
+  cfg.gravity = 0;
+  Simulation sim(mesh, {testRock()}, cfg);
+  const std::array<real, 9> q0 = {1e3, 1e3, 1e3, 0, 0, 0, 0, 0, 0};
+  sim.setInitialCondition([&](const Vec3&, int) { return q0; });
+  sim.advanceTo(0.15);
+  const auto val = sim.evaluateAt({0.5, 0.5, 0.5});
+  for (int p = 0; p < 9; ++p) {
+    EXPECT_NEAR(val[p], q0[p], 1e-9 * (1 + std::abs(q0[p]))) << "comp " << p;
+  }
+}
+
+TEST(Solver, ConstantStateLeakageThroughAbsorbingBoundaryIsSmall) {
+  // An absorbing boundary is inconsistent with a constant state; the
+  // resulting error front travels at c_p and only weak numerical leakage
+  // may appear ahead of it.
+  const Mesh mesh = buildBoxMesh(cube(6, BoundaryType::kAbsorbing));
+  SolverConfig cfg;
+  cfg.degree = 2;
+  cfg.gravity = 0;
+  Simulation sim(mesh, {testRock()}, cfg);
+  const std::array<real, 9> q0 = {1e3, -2e3, 5e2, 3e2, -1e2, 2e2, 0.4, -0.2, 0.7};
+  sim.setInitialCondition([&](const Vec3&, int) { return q0; });
+  sim.advanceTo(0.05);  // error front at 0.1, centre at distance 0.5
+  const auto val = sim.evaluateAt({0.5, 0.5, 0.5});
+  // Leakage scales with the overall state magnitude, not per component.
+  for (int p = 0; p < 6; ++p) {
+    EXPECT_NEAR(val[p], q0[p], 5e-3 * 2000.0) << "comp " << p;
+  }
+}
+
+/// Exact standing P wave along x; compatible with rigid walls at x = 0, 1
+/// for k a multiple of 2 pi (displacement u = sin(kx) cos(w t)).
+std::array<real, 9> standingWaveP(const Material& m, real k, real x, real t) {
+  const real omega = k * m.pWaveSpeed();
+  std::array<real, 9> q{};
+  q[kSxx] = (m.lambda + 2 * m.mu) * k * std::cos(k * x) * std::cos(omega * t);
+  q[kSyy] = m.lambda * k * std::cos(k * x) * std::cos(omega * t);
+  q[kSzz] = q[kSyy];
+  q[kVx] = -omega * std::sin(k * x) * std::sin(omega * t);
+  return q;
+}
+
+class PlaneWaveAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlaneWaveAccuracy, StandingPWaveErrorDecreasesWithDegree) {
+  const int degree = GetParam();
+  const Material m = testRock();
+  const real k = 2 * M_PI;  // one wavelength across the unit box
+  const Mesh mesh = buildBoxMesh(cube(4, BoundaryType::kRigidWall));
+  SolverConfig cfg;
+  cfg.degree = degree;
+  cfg.gravity = 0;
+  Simulation sim(mesh, {m}, cfg);
+  sim.setInitialCondition([&](const Vec3& x, int) {
+    return standingWaveP(m, k, x[0], 0.0);
+  });
+  sim.advanceTo(0.12);
+  const real t = sim.time();
+  real err = 0;
+  real ref = 0;
+  for (const real x : {0.13, 0.37, 0.71}) {
+    const Vec3 p{x, 0.52, 0.48};
+    const auto got = sim.evaluateAt(p);
+    const auto exact = standingWaveP(m, k, x, t);
+    for (int q = 0; q < 9; ++q) {
+      err = std::max(err, std::abs(got[q] - exact[q]));
+      ref = std::max(ref, std::abs(exact[q]));
+    }
+  }
+  const real rel = err / ref;
+  // Measured: deg1 ~0.20, deg2 ~0.034, deg3 ~1.1e-3, deg4 ~1.1e-4 (x2 margin).
+  const real bounds[6] = {1.0, 0.45, 0.08, 3e-3, 3e-4, 3e-4};
+  EXPECT_LT(rel, bounds[degree]) << "degree " << degree;
+  RecordProperty("relative_error", std::to_string(rel));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PlaneWaveAccuracy,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Solver, AcousticStandingWave) {
+  const Material m = testWater();
+  const real k = 2 * M_PI;
+  const real omega = k * m.pWaveSpeed();
+  const Mesh mesh = buildBoxMesh(cube(4, BoundaryType::kRigidWall));
+  SolverConfig cfg;
+  cfg.degree = 3;
+  cfg.gravity = 0;
+  Simulation sim(mesh, {m}, cfg);
+  auto wave = [&](const Vec3& x, real t) {
+    std::array<real, 9> q{};
+    const real c = m.lambda * k * std::cos(k * x[0]) * std::cos(omega * t);
+    q[kSxx] = c;  // -p (isotropic acoustic stress)
+    q[kSyy] = c;
+    q[kSzz] = c;
+    q[kVx] = -omega * std::sin(k * x[0]) * std::sin(omega * t);
+    return q;
+  };
+  sim.setInitialCondition([&](const Vec3& x, int) { return wave(x, 0.0); });
+  sim.advanceTo(0.2);
+  const real t = sim.time();
+  const Vec3 p{0.37, 0.5, 0.5};
+  const auto got = sim.evaluateAt(p);
+  const auto exact = wave(p, t);
+  for (int q : {kSxx, kVx}) {
+    EXPECT_NEAR(got[q], exact[q],
+                5e-3 * m.lambda * k);
+  }
+}
+
+TEST(Solver, ElasticAcousticTransmissionCoefficients) {
+  // 1D setting (rigid side walls): a P pulse travels from the elastic
+  // lower half into the acoustic upper half.  Normal-incidence
+  // transmission/reflection of particle velocity:
+  //   T = 2 Z1 / (Z1 + Z2),  R = (Z1 - Z2) / (Z1 + Z2).
+  const Material solid = testRock();      // Z1 = 2 * 2 = 4
+  const Material fluid = testWater();     // Z2 = 1
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 0.25, 2);
+  spec.yLines = uniformLine(0, 0.25, 2);
+  spec.zLines = uniformLine(0, 1, 14);
+  spec.material = [](const Vec3& c) { return c[2] > 0.5 ? 1 : 0; };
+  spec.boundary = [](const Vec3&, const Vec3& n) {
+    if (std::abs(n[2]) > 0.5) {
+      return BoundaryType::kAbsorbing;
+    }
+    return BoundaryType::kRigidWall;
+  };
+  const Mesh mesh = buildBoxMesh(spec);
+  SolverConfig cfg;
+  cfg.degree = 3;
+  cfg.gravity = 0;
+  Simulation sim(mesh, {solid, fluid}, cfg);
+  const real z0 = 0.25, width = 0.08;
+  sim.setInitialCondition([&](const Vec3& x, int mat) {
+    std::array<real, 9> q{};
+    if (mat != 0) {
+      return q;
+    }
+    const real g = std::exp(-0.5 * std::pow((x[2] - z0) / width, 2));
+    // Up-going P wave in the solid.
+    q[kSzz] = (solid.lambda + 2 * solid.mu) * g;
+    q[kSxx] = solid.lambda * g;
+    q[kSyy] = solid.lambda * g;
+    q[kVz] = -solid.pWaveSpeed() * g;  // up-going (+z) P wave
+    return q;
+  });
+  const int rT = sim.addReceiver("transmitted", {0.12, 0.12, 0.75});
+  const int rR = sim.addReceiver("reflected", {0.12, 0.12, 0.25});
+  sim.advanceTo(0.6);
+  const real vIn = solid.pWaveSpeed();  // incident velocity amplitude
+  const real z1 = solid.zP();
+  const real z2 = fluid.zP();
+  const real expectT = 2 * z1 / (z1 + z2) * vIn;
+  // Reflected amplitude measured as the peak after the incident pulse has
+  // passed: the incident and reflected pulses both peak at the receiver,
+  // so use the full series peak for transmission and check the late-time
+  // peak for reflection.
+  EXPECT_NEAR(sim.receiver(rT).peak(kVz), expectT, 0.10 * expectT);
+  // The incident pulse passes the lower receiver around t ~ 0 .. 0.15; the
+  // reflection returns from the interface around t ~ 0.2 .. 0.35.
+  const Receiver& rr = sim.receiver(rR);
+  real reflMax = 0;
+  for (std::size_t i = 0; i < rr.times.size(); ++i) {
+    if (rr.times[i] > 0.2 && rr.times[i] < 0.4) {
+      reflMax = std::max(reflMax, std::abs(rr.samples[i][kVz]));
+    }
+  }
+  const real expectR = std::abs((z1 - z2) / (z1 + z2)) * vIn;
+  EXPECT_NEAR(reflMax, expectR, 0.12 * expectR);
+}
+
+TEST(Solver, LtsMatchesGtsOnTwoLayerMedium) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 3);
+  spec.yLines = uniformLine(0, 1, 3);
+  // Thin top layer forces a timestep contrast.
+  spec.zLines = {0.0, 0.3, 0.6, 0.8, 0.9, 1.0};
+  spec.material = [](const Vec3& c) { return c[2] > 0.6 ? 1 : 0; };
+  spec.boundary = [](const Vec3&, const Vec3&) {
+    return BoundaryType::kAbsorbing;
+  };
+  const Mesh mesh = buildBoxMesh(spec);
+  // Strong wave-speed contrast so that clustering actually kicks in.
+  const std::vector<Material> mats = {Material::fromVelocities(2.0, 8.0, 4.0),
+                                      testWater()};
+
+  auto makeSim = [&](int rate) {
+    SolverConfig cfg;
+    cfg.degree = 3;
+    cfg.gravity = 0;
+    cfg.ltsRate = rate;
+    auto sim = std::make_unique<Simulation>(mesh, mats, cfg);
+    sim->setInitialCondition([](const Vec3& x, int) {
+      std::array<real, 9> q{};
+      const real g = std::exp(-0.5 * (norm2(x - Vec3{0.5, 0.5, 0.4}) / 0.02));
+      q[kSxx] = q[kSyy] = q[kSzz] = g;
+      return q;
+    });
+    return sim;
+  };
+  auto lts = makeSim(2);
+  auto gts = makeSim(1);
+  EXPECT_GE(lts->clusters().numClusters, 2);
+  EXPECT_EQ(gts->clusters().numClusters, 1);
+  lts->advanceTo(0.25);
+  gts->advanceTo(lts->time());
+  ASSERT_NEAR(lts->time(), gts->time(), 1e-12);
+  real maxDiff = 0, maxVal = 0;
+  for (const Vec3 p : {Vec3{0.5, 0.5, 0.4}, Vec3{0.4, 0.6, 0.7},
+                       Vec3{0.6, 0.4, 0.85}, Vec3{0.5, 0.5, 0.95}}) {
+    const auto a = lts->evaluateAt(p);
+    const auto b = gts->evaluateAt(p);
+    for (int q = 0; q < 9; ++q) {
+      maxDiff = std::max(maxDiff, std::abs(a[q] - b[q]));
+      maxVal = std::max(maxVal, std::abs(b[q]));
+    }
+  }
+  // Both runs are high-order accurate; they may differ at the level of the
+  // (tiny) temporal truncation error only.
+  EXPECT_LT(maxDiff, 6e-3 * maxVal);
+  // LTS must have performed fewer element updates than GTS for this mesh.
+  EXPECT_LT(lts->elementUpdates(), gts->elementUpdates());
+}
+
+TEST(Solver, SeafloorRecorderIntegratesVerticalVelocity) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 3);
+  spec.yLines = uniformLine(0, 1, 3);
+  spec.zLines = uniformLine(0, 1, 4);
+  spec.material = [](const Vec3& c) { return c[2] > 0.5 ? 1 : 0; };
+  // Side walls are exactly compatible with a constant vertical velocity;
+  // top/bottom are absorbing (their error cannot reach the seafloor within
+  // the simulated time).
+  spec.boundary = [](const Vec3&, const Vec3& n) {
+    if (std::abs(n[2]) > 0.5) {
+      return BoundaryType::kAbsorbing;
+    }
+    return BoundaryType::kRigidWall;
+  };
+  const Mesh mesh = buildBoxMesh(spec);
+  SolverConfig cfg;
+  cfg.degree = 2;
+  cfg.gravity = 0;
+  Simulation sim(mesh, {testRock(), testWater()}, cfg);
+  // Constant vertical velocity everywhere is an exact solution; the
+  // interior seafloor must record uplift = t.
+  sim.setInitialCondition([](const Vec3&, int) {
+    std::array<real, 9> q{};
+    q[kVz] = 1.0;
+    return q;
+  });
+  sim.advanceTo(0.1);
+  const auto samples = sim.seafloor();
+  ASSERT_FALSE(samples.empty());
+  int checked = 0;
+  for (const auto& s : samples) {
+    {
+      // Absorbing boundaries leak a little numerical error ahead of
+      // the physical front; allow for it.
+      EXPECT_NEAR(s.uplift, sim.time(), 1e-2 * sim.time());
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Solver, ReceiverRecordsMonotoneTimes) {
+  const Mesh mesh = buildBoxMesh(cube(2, BoundaryType::kAbsorbing));
+  SolverConfig cfg;
+  cfg.degree = 2;
+  cfg.gravity = 0;
+  Simulation sim(mesh, {testRock()}, cfg);
+  sim.setInitialCondition([](const Vec3&, int) {
+    return std::array<real, 9>{};
+  });
+  const int r = sim.addReceiver("r0", {0.5, 0.5, 0.5});
+  sim.advanceTo(0.05);
+  const Receiver& rec = sim.receiver(r);
+  ASSERT_GT(rec.times.size(), 2u);
+  for (std::size_t i = 1; i < rec.times.size(); ++i) {
+    EXPECT_GT(rec.times[i], rec.times[i - 1]);
+  }
+  for (const auto& s : rec.samples) {
+    for (int q = 0; q < 9; ++q) {
+      EXPECT_NEAR(s[q], 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(TimeClusters, TwoLayerNormalisation) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 1, 4);
+  spec.yLines = uniformLine(0, 1, 4);
+  spec.zLines = {0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0};
+  spec.material = [](const Vec3& c) { return c[2] > 0.75 ? 1 : 0; };
+  const Mesh mesh = buildBoxMesh(spec);
+  std::vector<Material> mats(mesh.numElements());
+  std::vector<Material> table = {Material::fromVelocities(2700, 6000, 3464),
+                                 Material::acoustic(1000, 1500)};
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    mats[e] = table[mesh.elements[e].material];
+  }
+  const ClusterLayout layout = buildClusters(mesh, mats, 3, 0.35, 2, 12);
+  EXPECT_GE(layout.numClusters, 2);
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    // Rate-2 invariant: dt of the cluster must not exceed the element's
+    // CFL timestep.
+    const real dtE = elementTimestep(mesh, e, mats[e], 3, 0.35);
+    const real dtCluster =
+        layout.dtMin * static_cast<real>(1 << layout.cluster[e]);
+    EXPECT_LE(dtCluster, dtE * (1 + 1e-12));
+    for (int f = 0; f < 4; ++f) {
+      const int nb = mesh.faces[e][f].neighbor;
+      if (nb >= 0) {
+        EXPECT_LE(std::abs(layout.cluster[e] - layout.cluster[nb]), 1);
+      }
+    }
+  }
+  // Histogram bookkeeping.
+  const auto h = layout.histogram();
+  std::int64_t total = 0;
+  for (auto v : h) {
+    total += v;
+  }
+  EXPECT_EQ(total, mesh.numElements());
+  EXPECT_GT(layout.updatesPerMacroCycleGts(), layout.updatesPerMacroCycleLts());
+}
+
+TEST(TimeClusters, GtsIsSingleCluster) {
+  const Mesh mesh = buildBoxMesh(cube(2, BoundaryType::kAbsorbing));
+  std::vector<Material> mats(mesh.numElements(), testRock());
+  const ClusterLayout layout = buildClusters(mesh, mats, 2, 0.35, 1, 12);
+  EXPECT_EQ(layout.numClusters, 1);
+}
+
+}  // namespace
+}  // namespace tsg

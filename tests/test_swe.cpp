@@ -1,0 +1,165 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "swe/swe_solver.hpp"
+
+namespace tsg {
+namespace {
+
+SweConfig basin(int nx, int ny, real lx, real ly) {
+  SweConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.x0 = 0;
+  cfg.y0 = 0;
+  cfg.dx = lx / nx;
+  cfg.dy = ly / ny;
+  return cfg;
+}
+
+TEST(Swe, LakeAtRestIsWellBalanced) {
+  SweSolver swe(basin(40, 20, 4000, 2000));
+  swe.setBathymetry([](real x, real y) {
+    return -50.0 + 20.0 * std::sin(x / 300.0) * std::cos(y / 500.0);
+  });
+  swe.initializeLakeAtRest(0.0);
+  swe.advanceTo(60.0);
+  for (int j = 0; j < 20; ++j) {
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_NEAR(swe.surface(i, j), 0.0, 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(Swe, LakeAtRestWithDryIslands) {
+  SweSolver swe(basin(40, 20, 4000, 2000));
+  swe.setBathymetry([](real x, real y) {
+    // An island pokes above the water line.
+    const real r2 = (x - 2000) * (x - 2000) + (y - 1000) * (y - 1000);
+    return -40.0 + 70.0 * std::exp(-r2 / (2 * 250.0 * 250.0));
+  });
+  swe.initializeLakeAtRest(0.0);
+  EXPECT_FALSE(swe.isWet(20, 10));  // island centre dry
+  swe.advanceTo(30.0);
+  real maxWetSurface = 0;
+  for (int j = 0; j < 20; ++j) {
+    for (int i = 0; i < 40; ++i) {
+      if (swe.isWet(i, j)) {
+        maxWetSurface = std::max(maxWetSurface, std::abs(swe.surface(i, j)));
+      }
+    }
+  }
+  EXPECT_LT(maxWetSurface, 1e-8);
+  EXPECT_FALSE(swe.isWet(20, 10));
+}
+
+TEST(Swe, GravityWaveSpeedMatchesShallowWaterTheory) {
+  // A small hump in a flat basin spreads at c = sqrt(g h).
+  const real depth = 100.0;
+  SweSolver swe(basin(200, 3, 20000, 300));
+  swe.setBathymetry([&](real, real) { return -depth; });
+  swe.initializeLakeAtRest(0.0);
+  swe.addSurfacePerturbation([](real x, real) {
+    return 0.5 * std::exp(-(x - 10000) * (x - 10000) / (2 * 300.0 * 300.0));
+  });
+  const real c = std::sqrt(9.81 * depth);
+  const real tEnd = 150.0;
+  swe.advanceTo(tEnd);
+  // Find the right-going crest.
+  real bestX = 0, bestEta = -1;
+  for (int i = 101; i < 200; ++i) {
+    const real eta = swe.surface(i, 1);
+    if (eta > bestEta) {
+      bestEta = eta;
+      bestX = swe.cellX(i);
+    }
+  }
+  EXPECT_GT(bestEta, 0.1);
+  EXPECT_NEAR(bestX - 10000.0, c * tEnd, 0.08 * c * tEnd);
+}
+
+TEST(Swe, DamBreakMiddleStateMatchesStoker) {
+  // Classic Stoker dam break on a wet bed: hl = 2, hr = 1.  The middle
+  // state height solves a nonlinear equation; its value is ~1.45384.
+  SweSolver swe(basin(400, 1, 4000, 10));
+  swe.setBathymetry([](real, real) { return -10.0; });
+  swe.initializeLakeAtRest(-8.0);  // h = 2 everywhere
+  swe.addSurfacePerturbation([](real x, real) {
+    return x < 2000 ? 0.0 : -1.0;  // step down to h = 1 on the right
+  });
+  swe.advanceTo(50.0);
+  // Sample the plateau between the rarefaction and the shock.
+  const real hm = swe.depth(210, 0);
+  EXPECT_NEAR(hm, 1.45384, 0.03);
+}
+
+TEST(Swe, BedUpliftRaisesSurface) {
+  SweSolver swe(basin(60, 60, 6000, 6000));
+  swe.setBathymetry([](real, real) { return -200.0; });
+  swe.initializeLakeAtRest(0.0);
+  const real riseTime = 5.0;
+  swe.setBedMotion([&](real x, real y, real t) {
+    const real r2 = (x - 3000) * (x - 3000) + (y - 3000) * (y - 3000);
+    const real shape = 1.5 * std::exp(-r2 / (2 * 600.0 * 600.0));
+    return shape * std::min(t / riseTime, real(1));
+  });
+  swe.advanceTo(riseTime);
+  // Immediately after the (fast) uplift, the surface mirrors the bed
+  // motion (minus what has already propagated away).
+  const int c = 30;
+  EXPECT_GT(swe.surface(c, c), 0.8);
+  EXPECT_LT(swe.surface(c, c), 1.6);
+  // Mass above sea level must be (nearly) conserved while waves spread.
+  swe.advanceTo(30.0);
+  EXPECT_LT(swe.surface(c, c), 1.0);  // wave has started radiating away
+  EXPECT_GT(swe.maxSurfaceAmplitude(), 0.1);
+}
+
+TEST(Swe, RunupOnSlopingBeach) {
+  // A positive wave approaching a beach must advance the wet front.
+  SweConfig cfg = basin(200, 3, 10000, 150);
+  SweSolver swe(cfg);
+  swe.setBathymetry([](real x, real) {
+    return -50.0 + x * 0.008;  // beach crosses sea level at x = 6250
+  });
+  swe.initializeLakeAtRest(0.0);
+  const real front0 = swe.wetFrontX(1);
+  EXPECT_NEAR(front0, 6250.0, 100.0);
+  swe.addSurfacePerturbation([](real x, real) {
+    return 1.0 * std::exp(-(x - 3000) * (x - 3000) / (2 * 400.0 * 400.0));
+  });
+  real maxFront = front0;
+  while (swe.time() < 500.0) {
+    swe.step();
+    maxFront = std::max(maxFront, swe.wetFrontX(1));
+  }
+  EXPECT_GT(maxFront, front0 + 50.0);   // inundation happened
+  EXPECT_LT(maxFront, front0 + 1500.0);  // and stayed bounded
+}
+
+TEST(Swe, GaugesRecordWaveArrival) {
+  SweSolver swe(basin(150, 3, 15000, 300));
+  swe.setBathymetry([](real, real) { return -100.0; });
+  swe.initializeLakeAtRest(0.0);
+  swe.addSurfacePerturbation([](real x, real) {
+    return 0.8 * std::exp(-(x - 2000) * (x - 2000) / (2 * 300.0 * 300.0));
+  });
+  const int g = swe.addGauge("g1", 9000.0, 150.0);
+  swe.advanceTo(400.0);
+  const SweGauge& gauge = swe.gauge(g);
+  ASSERT_FALSE(gauge.times.empty());
+  // Expected arrival: 7000 m at sqrt(g*100) ~ 31.3 m/s => ~224 s.
+  real arrival = -1;
+  for (std::size_t i = 0; i < gauge.times.size(); ++i) {
+    if (std::abs(gauge.surface[i]) > 0.05) {
+      arrival = gauge.times[i];
+      break;
+    }
+  }
+  ASSERT_GT(arrival, 0);
+  EXPECT_NEAR(arrival, 7000.0 / std::sqrt(9.81 * 100.0), 60.0);
+}
+
+}  // namespace
+}  // namespace tsg
