@@ -1,7 +1,7 @@
 #include "common/flops.hpp"
 
+#include <deque>
 #include <mutex>
-#include <vector>
 
 namespace tsg {
 
@@ -12,18 +12,22 @@ struct Counter {
 };
 
 std::mutex g_registryMutex;
-std::vector<Counter*>& registry() {
-  static std::vector<Counter*> r;
-  return r;
+
+// The registry OWNS the counters (deque: stable element addresses) and is
+// heap-allocated without ever being destroyed.  Counters of threads that
+// have exited stay reachable through it, so aggregation keeps working and
+// LeakSanitizer sees owned memory rather than orphaned per-thread
+// allocations; skipping destruction keeps late countFlops() calls during
+// shutdown valid regardless of static destruction order.
+std::deque<Counter>& registry() {
+  static std::deque<Counter>* r = new std::deque<Counter>();
+  return *r;
 }
 
 Counter& threadCounter() {
   thread_local Counter* counter = [] {
-    auto* c = new Counter();  // leaked deliberately: thread counters must
-                              // outlive thread exit for final aggregation
     std::lock_guard<std::mutex> lock(g_registryMutex);
-    registry().push_back(c);
-    return c;
+    return &registry().emplace_back();
   }();
   return *counter;
 }
@@ -35,16 +39,16 @@ void countFlops(std::uint64_t n) { threadCounter().value += n; }
 std::uint64_t totalFlops() {
   std::lock_guard<std::mutex> lock(g_registryMutex);
   std::uint64_t sum = 0;
-  for (const Counter* c : registry()) {
-    sum += c->value;
+  for (const Counter& c : registry()) {
+    sum += c.value;
   }
   return sum;
 }
 
 void resetFlops() {
   std::lock_guard<std::mutex> lock(g_registryMutex);
-  for (Counter* c : registry()) {
-    c->value = 0;
+  for (Counter& c : registry()) {
+    c.value = 0;
   }
 }
 

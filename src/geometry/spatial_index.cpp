@@ -1,0 +1,137 @@
+#include "geometry/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsg {
+
+bool elementContains(const Mesh& mesh, int elem, const Vec3& x, real tol) {
+  const Vec3 xi = mesh.toReference(elem, x);
+  return xi[0] >= -tol && xi[1] >= -tol && xi[2] >= -tol &&
+         xi[0] + xi[1] + xi[2] <= 1 + tol;
+}
+
+SpatialIndex::SpatialIndex(const Mesh& mesh) {
+  const int n = mesh.numElements();
+  lo_ = {1e300, 1e300, 1e300};
+  hi_ = {-1e300, -1e300, -1e300};
+  for (const Vec3& v : mesh.vertices) {
+    for (int c = 0; c < 3; ++c) {
+      lo_[c] = std::min(lo_[c], v[c]);
+      hi_[c] = std::max(hi_[c], v[c]);
+    }
+  }
+  if (n == 0) {
+    offsets_.assign(2, 0);
+    return;
+  }
+
+  // ~1 element per cell on average; degenerate extents collapse to 1 cell.
+  const int perAxis = std::max(
+      1, static_cast<int>(std::floor(std::cbrt(static_cast<double>(n)))));
+  Vec3 extent = hi_ - lo_;
+  const real pad =
+      1e-9 * std::max({real(1), extent[0], extent[1], extent[2]});
+  for (int c = 0; c < 3; ++c) {
+    lo_[c] -= pad;
+    hi_[c] += pad;
+    extent[c] = hi_[c] - lo_[c];
+  }
+  nx_ = extent[0] > 0 ? perAxis : 1;
+  ny_ = extent[1] > 0 ? perAxis : 1;
+  nz_ = extent[2] > 0 ? perAxis : 1;
+  invCell_ = {nx_ / extent[0], ny_ / extent[1], nz_ / extent[2]};
+
+  // Two-pass CSR fill: count overlapped cells per element, then scatter.
+  const int numCells = nx_ * ny_ * nz_;
+  auto cellRange = [&](int e, int range[6]) {
+    Vec3 bl = {1e300, 1e300, 1e300}, bh = {-1e300, -1e300, -1e300};
+    for (int v : mesh.elements[e].vertices) {
+      for (int c = 0; c < 3; ++c) {
+        bl[c] = std::min(bl[c], mesh.vertices[v][c]);
+        bh[c] = std::max(bh[c], mesh.vertices[v][c]);
+      }
+    }
+    const int dims[3] = {nx_, ny_, nz_};
+    for (int c = 0; c < 3; ++c) {
+      range[2 * c] = std::clamp(
+          static_cast<int>((bl[c] - pad - lo_[c]) * invCell_[c]), 0,
+          dims[c] - 1);
+      range[2 * c + 1] = std::clamp(
+          static_cast<int>((bh[c] + pad - lo_[c]) * invCell_[c]), 0,
+          dims[c] - 1);
+    }
+  };
+
+  offsets_.assign(numCells + 1, 0);
+  for (int e = 0; e < n; ++e) {
+    int r[6];
+    cellRange(e, r);
+    for (int k = r[4]; k <= r[5]; ++k) {
+      for (int j = r[2]; j <= r[3]; ++j) {
+        for (int i = r[0]; i <= r[1]; ++i) {
+          ++offsets_[(k * ny_ + j) * nx_ + i + 1];
+        }
+      }
+    }
+  }
+  for (int c = 0; c < numCells; ++c) {
+    offsets_[c + 1] += offsets_[c];
+  }
+  ids_.resize(offsets_[numCells]);
+  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (int e = 0; e < n; ++e) {
+    int r[6];
+    cellRange(e, r);
+    for (int k = r[4]; k <= r[5]; ++k) {
+      for (int j = r[2]; j <= r[3]; ++j) {
+        for (int i = r[0]; i <= r[1]; ++i) {
+          ids_[cursor[(k * ny_ + j) * nx_ + i]++] = e;
+        }
+      }
+    }
+  }
+}
+
+int SpatialIndex::cellOf(const Vec3& x) const {
+  int idx[3];
+  const int dims[3] = {nx_, ny_, nz_};
+  for (int c = 0; c < 3; ++c) {
+    if (x[c] < lo_[c] || x[c] > hi_[c]) {
+      return -1;
+    }
+    idx[c] = std::clamp(static_cast<int>((x[c] - lo_[c]) * invCell_[c]), 0,
+                        dims[c] - 1);
+  }
+  return (idx[2] * ny_ + idx[1]) * nx_ + idx[0];
+}
+
+std::vector<int> SpatialIndex::candidates(const Vec3& x) const {
+  const int cell = cellOf(x);
+  if (cell < 0) {
+    return {};
+  }
+  return std::vector<int>(ids_.begin() + offsets_[cell],
+                          ids_.begin() + offsets_[cell + 1]);
+}
+
+int SpatialIndex::locate(const Mesh& mesh, const Vec3& x) const {
+  const int cell = cellOf(x);
+  if (cell >= 0) {
+    for (int k = offsets_[cell]; k < offsets_[cell + 1]; ++k) {
+      if (elementContains(mesh, ids_[k], x)) {
+        return ids_[k];
+      }
+    }
+  }
+  // Fallback scan: keeps semantics identical to brute force for points on
+  // the tolerance fringe of the grid or the padded boxes.
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    if (elementContains(mesh, e, x)) {
+      return e;
+    }
+  }
+  return -1;
+}
+
+}  // namespace tsg

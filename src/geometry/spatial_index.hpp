@@ -1,0 +1,49 @@
+#pragma once
+
+// Coarse uniform-grid spatial index over element bounding boxes.
+//
+// Point location (receiver placement, `evaluateAt` diagnostics) was an
+// O(N) scan per query; with R receivers that makes setup O(N*R).  The
+// grid maps a query point to a short candidate list in O(1), then tests
+// candidates with the exact barycentric containment predicate, so results
+// are identical to the brute-force scan (a full scan remains as fallback
+// for points that slip past the padded bounding boxes).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "geometry/mesh.hpp"
+
+namespace tsg {
+
+/// Exact containment test shared by the index and the brute-force path.
+bool elementContains(const Mesh& mesh, int elem, const Vec3& x,
+                     real tol = 1e-9);
+
+class SpatialIndex {
+ public:
+  /// Build over all element bounding boxes; O(N).  The index keeps no
+  /// reference to the mesh; pass the same (or an identical) mesh to the
+  /// query methods.
+  explicit SpatialIndex(const Mesh& mesh);
+
+  /// Element containing x, or -1.  Exactly matches the brute-force scan
+  /// except for returning a different (still containing) element when a
+  /// point lies on a shared face within tolerance.
+  int locate(const Mesh& mesh, const Vec3& x) const;
+
+  /// Candidate elements whose padded bounding box covers x (testing).
+  std::vector<int> candidates(const Vec3& x) const;
+
+ private:
+  int cellOf(const Vec3& x) const;
+
+  Vec3 lo_{}, hi_{};
+  Vec3 invCell_{};
+  int nx_ = 1, ny_ = 1, nz_ = 1;
+  // CSR layout: element ids of cell c are ids_[offsets_[c] .. offsets_[c+1]).
+  std::vector<int> offsets_;
+  std::vector<int> ids_;
+};
+
+}  // namespace tsg

@@ -45,7 +45,7 @@ void SeafloorUpliftRecorder::recordSnapshot(
         }
         real acc = 0;
         int n = 0;
-        for (const auto [di, dj] :
+        for (const auto& [di, dj] :
              {std::pair{1, 0}, {-1, 0}, {0, 1}, {0, -1}}) {
           const int ii = i + di, jj = j + dj;
           if (ii >= 0 && ii < nx_ && jj >= 0 && jj < ny_ &&

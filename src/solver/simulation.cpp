@@ -58,17 +58,26 @@ Simulation::Simulation(Mesh mesh, std::vector<Material> materialTable,
   setupElementData();
   setupFaces();
 
-  const int threads = omp_get_max_threads();
-  const std::size_t scratchSize =
+  scratchSize_ =
       2 * static_cast<std::size_t>(nbq_) +
       2 * static_cast<std::size_t>(cfg_.degree + 1) * rm_.nq * kNumQuantities +
       2 * static_cast<std::size_t>(rm_.nq) * kNumQuantities;
-  scratch_.assign(threads, std::vector<real>(scratchSize, 0.0));
   receiversOfElement_.assign(n, {});
+  spatialIndex_ = std::make_unique<SpatialIndex>(mesh_);
 }
 
 real* Simulation::threadScratch() {
-  return scratch_[omp_get_thread_num()].data();
+  // Thread-local (not indexed by omp_get_thread_num() into a fixed array):
+  // stays in bounds even if omp_set_num_threads() raises the thread count
+  // between construction and advanceTo, and is race-free by construction.
+  // Shared across Simulation instances on the same thread; every kernel
+  // fully initialises the scratch regions it reads, so stale content from
+  // another instance cannot leak into results.
+  static thread_local std::vector<real> buf;
+  if (buf.size() < scratchSize_) {
+    buf.resize(scratchSize_);
+  }
+  return buf.data();
 }
 
 void Simulation::setupElementData() {
@@ -264,13 +273,12 @@ void Simulation::onMacroStep(const std::function<void(real)>& cb) {
 }
 
 real Simulation::macroDt() const {
-  return clusters_.dtMin *
-         static_cast<real>(std::int64_t{1} << (clusters_.numClusters - 1));
+  return clusters_.dtMin * static_cast<real>(clusters_.ticksPerMacro());
 }
 
 void Simulation::predictor(int elem) {
   const int c = clusters_.cluster[elem];
-  const real dt = clusters_.dtMin * static_cast<real>(std::int64_t{1} << c);
+  const real dt = clusters_.dtMin * static_cast<real>(clusters_.spanOf(c));
   real* scratch = threadScratch();
   aderPredictor(rm_, starT_.data() + static_cast<std::size_t>(elem) * 3 *
                          kNumQuantities * kNumQuantities,
@@ -280,7 +288,7 @@ void Simulation::predictor(int elem) {
 
 void Simulation::corrector(int elem, std::int64_t tick) {
   const int c = clusters_.cluster[elem];
-  const std::int64_t span = std::int64_t{1} << c;
+  const std::int64_t span = clusters_.spanOf(c);
   const real dt = clusters_.dtMin * static_cast<real>(span);
   real* scratch = threadScratch();          // nbq
   real* scratch2 = scratch + nbq_;          // nbq (neighbour integrals)
@@ -309,8 +317,8 @@ void Simulation::corrector(int elem, std::int64_t tick) {
           src = tIntOf(nb);
         } else if (nbCluster > c) {
           // Coarser neighbour: integrate its Taylor expansion over our
-          // sub-interval of its (twice as long) timestep.
-          const std::int64_t rel = (tick - span) % (span * 2);
+          // sub-interval of its (rate times as long) timestep.
+          const std::int64_t rel = (tick - span) % (span * clusters_.rate);
           const real off = clusters_.dtMin * static_cast<real>(rel);
           taylorIntegrate(rm_, stackOf(nb), off, off + dt, scratch2);
           src = scratch2;
@@ -390,7 +398,7 @@ void Simulation::computeRuptureFluxes(int clusterId, real dt,
     return;
   }
   const int nf = fault_->numFaces();
-#pragma omp parallel for schedule(dynamic, 4)
+#pragma omp parallel for schedule(runtime)
   for (int i = 0; i < nf; ++i) {
     const FaultFace& ff = fault_->faceAt(i);
     if (clusters_.cluster[ff.minusElem] != clusterId) {
@@ -417,20 +425,28 @@ void Simulation::advanceTo(real tEnd) {
       }
     }
   }
-  const std::int64_t ticksPerMacro = std::int64_t{1}
-                                     << (clusters_.numClusters - 1);
+  // Deterministic mode pins the (schedule(runtime)) stepping loops to a
+  // static schedule; the default matches the old dynamic work stealing.
+  if (cfg_.deterministic) {
+    omp_set_schedule(omp_sched_static, 0);
+  } else {
+    omp_set_schedule(omp_sched_dynamic, 32);
+  }
+  const std::int64_t ticksPerMacro = clusters_.ticksPerMacro();
   const real eps = 1e-12 * std::max(real(1), tEnd);
   while (time_ < tEnd - eps) {
     for (std::int64_t step = 0; step < ticksPerMacro; ++step) {
       // Predictor phase at the current tick.
       for (int c = 0; c < clusters_.numClusters; ++c) {
-        if (tick_ % (std::int64_t{1} << c) != 0) {
+        const std::int64_t span = clusters_.spanOf(c);
+        if (tick_ % span != 0) {
           continue;
         }
         const auto& elems = clusters_.elementsOfCluster[c];
-        const std::int64_t resetMask = (std::int64_t{2} << c) - 1;
-        const bool reset = (tick_ & resetMask) == 0;
-#pragma omp parallel for schedule(dynamic, 32)
+        // The coarser neighbour consumes the buffer once per `rate` of our
+        // steps; restart the accumulation at its step boundaries.
+        const bool reset = tick_ % (span * clusters_.rate) == 0;
+#pragma omp parallel for schedule(runtime)
         for (std::size_t k = 0; k < elems.size(); ++k) {
           const int e = elems[k];
           predictor(e);
@@ -450,7 +466,7 @@ void Simulation::advanceTo(real tEnd) {
       ++tick_;
       // Corrector phase for intervals ending at the new tick.
       for (int c = 0; c < clusters_.numClusters; ++c) {
-        const std::int64_t span = std::int64_t{1} << c;
+        const std::int64_t span = clusters_.spanOf(c);
         if (tick_ % span != 0) {
           continue;
         }
@@ -458,7 +474,7 @@ void Simulation::advanceTo(real tEnd) {
         computeRuptureFluxes(c, dt,
                              clusters_.dtMin * static_cast<real>(tick_ - span));
         const auto& elems = clusters_.elementsOfCluster[c];
-#pragma omp parallel for schedule(dynamic, 32)
+#pragma omp parallel for schedule(runtime)
         for (std::size_t k = 0; k < elems.size(); ++k) {
           corrector(elems[k], tick_);
         }
@@ -486,11 +502,12 @@ std::array<real, kNumQuantities> Simulation::evaluate(int elem,
 }
 
 int Simulation::findElement(const Vec3& x) const {
-  const real tol = 1e-9;
+  return spatialIndex_->locate(mesh_, x);
+}
+
+int Simulation::findElementBruteForce(const Vec3& x) const {
   for (int e = 0; e < mesh_.numElements(); ++e) {
-    const Vec3 xi = mesh_.toReference(e, x);
-    if (xi[0] >= -tol && xi[1] >= -tol && xi[2] >= -tol &&
-        xi[0] + xi[1] + xi[2] <= 1 + tol) {
+    if (elementContains(mesh_, e, x)) {
       return e;
     }
   }

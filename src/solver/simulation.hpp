@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "geometry/mesh.hpp"
+#include "geometry/spatial_index.hpp"
 #include "gravity/gravity_surface.hpp"
 #include "kernels/reference_matrices.hpp"
 #include "physics/material.hpp"
@@ -33,9 +34,17 @@ struct SolverConfig {
   int degree = 2;
   real cflFraction = 0.35;  // C(N) = cflFraction / (2N+1), the paper's choice
   real gravity = 9.81;      // 0 disables the gravitational surface term
-  int ltsRate = 2;          // 2 = rate-2 clustered LTS, 1 = global stepping
+  int ltsRate = 2;          // clustered LTS rate (cluster c: dt_min*rate^c),
+                            // 1 = global time stepping
   int maxClusters = 12;
   FrictionLawType frictionLaw = FrictionLawType::kLinearSlipWeakening;
+  // Force bitwise-reproducible stepping across OpenMP thread counts:
+  // static loop schedules instead of dynamic work stealing.  Element
+  // updates write disjoint state in a fixed per-element operation order,
+  // so results are reproducible either way; `deterministic` pins the
+  // traversal so that reproducibility no longer depends on that disjointness
+  // argument holding for future solver extensions.
+  bool deterministic = false;
 };
 
 /// q(x, material) -> initial state.
@@ -77,8 +86,10 @@ class Simulation {
   // ---- observation ----------------------------------------------------
   std::array<real, kNumQuantities> evaluate(int elem, const Vec3& xi) const;
   std::array<real, kNumQuantities> evaluateAt(const Vec3& x) const;
-  /// Element containing x, or -1 (brute-force; intended for setup/tests).
+  /// Element containing x, or -1 (grid-accelerated; O(1) typical).
   int findElement(const Vec3& x) const;
+  /// Reference O(N) scan with identical containment semantics (testing).
+  int findElementBruteForce(const Vec3& x) const;
 
   const Mesh& mesh() const { return mesh_; }
   const SolverConfig& config() const { return cfg_; }
@@ -174,8 +185,13 @@ class Simulation {
   std::vector<std::function<void(real)>> macroCallbacks_;
   std::uint64_t elementUpdates_ = 0;
 
-  // Per-thread scratch.
-  std::vector<std::vector<real>> scratch_;
+  // Point-location acceleration for findElement / addReceiver.
+  std::unique_ptr<SpatialIndex> spatialIndex_;
+
+  // Per-thread scratch, held in thread-local storage so it is valid for
+  // any thread that enters a kernel, regardless of how the OpenMP thread
+  // count changes after construction.
+  std::size_t scratchSize_ = 0;
   real* threadScratch();
 };
 

@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace tsg {
+
+namespace {
+
+std::int64_t ipow(std::int64_t base, int exp) {
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) {
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::int64_t ClusterLayout::spanOf(int c) const {
+  return ipow(rate, c);
+}
 
 std::vector<std::int64_t> ClusterLayout::histogram() const {
   std::vector<std::int64_t> h(numClusters, 0);
@@ -17,14 +34,13 @@ std::int64_t ClusterLayout::updatesPerMacroCycleLts() const {
   const auto h = histogram();
   std::int64_t updates = 0;
   for (int c = 0; c < numClusters; ++c) {
-    updates += h[c] * (std::int64_t{1} << (numClusters - 1 - c));
+    updates += h[c] * ipow(rate, numClusters - 1 - c);
   }
   return updates;
 }
 
 std::int64_t ClusterLayout::updatesPerMacroCycleGts() const {
-  return static_cast<std::int64_t>(cluster.size()) *
-         (std::int64_t{1} << (numClusters - 1));
+  return static_cast<std::int64_t>(cluster.size()) * ticksPerMacro();
 }
 
 real elementTimestep(const Mesh& mesh, int elem, const Material& mat,
@@ -45,12 +61,23 @@ ClusterLayout buildClusters(const Mesh& mesh,
     dtMin = std::min(dtMin, dt[e]);
   }
 
+  if (rate < 1) {
+    throw std::invalid_argument(
+        "buildClusters: LTS rate must be >= 1 (1 = GTS), got " +
+        std::to_string(rate));
+  }
+
   ClusterLayout layout;
   layout.dtMin = dtMin;
+  layout.rate = rate;
   layout.cluster.assign(n, 0);
   if (rate > 1) {
+    // dt[e] == dtMin * rate^k must land exactly in cluster k; the relative
+    // epsilon absorbs the rounding of log(a)/log(b) for exact powers.
+    const real logRate = std::log(static_cast<real>(rate));
     for (int e = 0; e < n; ++e) {
-      const int c = static_cast<int>(std::floor(std::log2(dt[e] / dtMin)));
+      const int c = static_cast<int>(
+          std::floor(std::log(dt[e] / dtMin) / logRate + 1e-9));
       layout.cluster[e] = std::clamp(c, 0, maxClusters - 1);
     }
     // Normalisation: neighbours differ by <= 1 cluster; dynamic-rupture

@@ -21,7 +21,14 @@ struct ClusterLayout {
   std::vector<int> cluster;  // per element
   std::vector<std::vector<int>> elementsOfCluster;
   int numClusters = 0;
+  int rate = 2;  // cluster c steps with dt_min * rate^c
   real dtMin = 0;
+
+  /// Timestep span of cluster c in units of dtMin: rate^c.
+  std::int64_t spanOf(int c) const;
+
+  /// dtMin ticks per macro cycle: the span of the coarsest cluster.
+  std::int64_t ticksPerMacro() const { return spanOf(numClusters - 1); }
 
   /// Elements per cluster (the Fig. 4 histogram).
   std::vector<std::int64_t> histogram() const;
@@ -37,7 +44,10 @@ struct ClusterLayout {
 real elementTimestep(const Mesh& mesh, int elem, const Material& mat,
                      int degree, real cflFraction);
 
-/// Build the cluster layout.  rate == 1 produces a single cluster (GTS).
+/// Build the cluster layout.  rate == 1 produces a single cluster (GTS);
+/// rate >= 2 assigns cluster c to elements with dt in
+/// [rate^c dt_min, rate^{c+1} dt_min).  Throws std::invalid_argument for
+/// rate < 1.
 ClusterLayout buildClusters(const Mesh& mesh,
                             const std::vector<Material>& materialOfElement,
                             int degree, real cflFraction, int rate,

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -7,6 +8,7 @@
 #include "geometry/mesh.hpp"
 #include "geometry/mesh_builder.hpp"
 #include "geometry/reference_tet.hpp"
+#include "geometry/spatial_index.hpp"
 
 namespace tsg {
 namespace {
@@ -232,6 +234,60 @@ TEST(DualGraph, MatchesFaceStructure) {
                       g.adjacency.begin() + g.adjOffsets[e + 1]);
     EXPECT_EQ(got, expected);
   }
+}
+
+TEST(SpatialIndex, MatchesBruteForceScan) {
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(-2, 3, 5);
+  spec.yLines = uniformLine(0, 1, 4);
+  spec.zLines = {-4.0, -2.0, -1.0, -0.5, 0.0};
+  const Mesh mesh = buildBoxMesh(spec);
+  const SpatialIndex index(mesh);
+
+  auto bruteForce = [&](const Vec3& x) {
+    for (int e = 0; e < mesh.numElements(); ++e) {
+      if (elementContains(mesh, e, x)) {
+        return e;
+      }
+    }
+    return -1;
+  };
+
+  // Deterministic pseudo-random probe points covering inside, boundary
+  // fringe, and outside locations.
+  std::uint64_t s = 12345;
+  auto next01 = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<real>(s >> 11) / 9007199254740992.0;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 x = {-3 + 7 * next01(), -0.5 + 2 * next01(),
+                    -5 + 6 * next01()};
+    const int expected = bruteForce(x);
+    const int got = index.locate(mesh, x);
+    if (expected < 0) {
+      EXPECT_EQ(got, -1) << "outside point hit element " << got;
+    } else {
+      ASSERT_GE(got, 0) << "inside point missed";
+      EXPECT_TRUE(elementContains(mesh, got, x));
+    }
+  }
+  // Element centroids must locate to the element itself.
+  for (int e = 0; e < mesh.numElements(); ++e) {
+    EXPECT_EQ(index.locate(mesh, mesh.centroid(e)), e);
+  }
+  // Mesh vertices sit on shared faces: any containing element is valid.
+  for (const Vec3& v : mesh.vertices) {
+    const int got = index.locate(mesh, v);
+    ASSERT_GE(got, 0);
+    EXPECT_TRUE(elementContains(mesh, got, v));
+  }
+}
+
+TEST(SpatialIndex, EmptyAndDegenerateMeshes) {
+  Mesh empty;
+  const SpatialIndex idx(empty);
+  EXPECT_EQ(idx.locate(empty, {0, 0, 0}), -1);
 }
 
 }  // namespace

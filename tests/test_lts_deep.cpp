@@ -70,6 +70,101 @@ TEST(LtsDeep, ThreeClustersMatchGts) {
   EXPECT_LT(maxDiff, 8e-3 * maxVal);
 }
 
+TEST(LtsDeep, ThreeClusterReceiverSeriesMatchesGts) {
+  // Receiver time series probe the LTS buffer accumulate/reset logic and
+  // the coarser-neighbour sub-interval offsets continuously in time, not
+  // just at the final state.
+  const Mesh mesh = threeLayerMesh();
+  const auto mats = threeLayerMaterials();
+  auto run = [&](int rate) {
+    SolverConfig cfg;
+    cfg.degree = 3;
+    cfg.gravity = 0;
+    cfg.ltsRate = rate;
+    auto sim = std::make_unique<Simulation>(mesh, mats, cfg);
+    sim->setInitialCondition([](const Vec3& x, int) {
+      std::array<real, 9> q{};
+      const real g = std::exp(-norm2(x - Vec3{0.5, 0.5, 0.6}) / 0.03);
+      q[kSxx] = q[kSyy] = q[kSzz] = g;
+      q[kVz] = 0.3 * g;
+      return q;
+    });
+    sim->addReceiver("deep", {0.5, 0.5, 0.3});
+    sim->addReceiver("mid", {0.4, 0.6, 0.78});
+    sim->addReceiver("shallow", {0.5, 0.5, 0.95});
+    sim->advanceTo(0.12);
+    return sim;
+  };
+  auto lts = run(2);
+  ASSERT_GE(lts->clusters().numClusters, 3);
+  auto gts = run(1);
+  for (int r = 0; r < lts->numReceivers(); ++r) {
+    const Receiver& a = lts->receiver(r);
+    const Receiver& b = gts->receiver(r);
+    ASSERT_FALSE(a.samples.empty());
+    ASSERT_FALSE(b.samples.empty());
+    // Compare at the end of the common time range (the series have
+    // different sampling cadences under LTS vs GTS).
+    real maxVal = 0;
+    for (const auto& s : b.samples) {
+      for (int q = 0; q < 9; ++q) {
+        maxVal = std::max(maxVal, std::abs(s[q]));
+      }
+    }
+    const auto& sa = a.samples.back();
+    const auto& sb = b.samples.back();
+    EXPECT_NEAR(a.times.back(), b.times.back(), 1e-12);
+    for (int q = 0; q < 9; ++q) {
+      EXPECT_NEAR(sa[q], sb[q], 2e-2 * maxVal)
+          << a.name << " quantity " << q;
+    }
+  }
+}
+
+TEST(LtsDeep, Rate4MatchesGts) {
+  // General (non-2) rates exercise the generalised span arithmetic: the
+  // r-sub-interval buffer accumulation and the modulo offsets into a
+  // coarser neighbour's Taylor expansion.
+  const Mesh mesh = threeLayerMesh();
+  const auto mats = threeLayerMaterials();
+  auto makeSim = [&](int rate) {
+    SolverConfig cfg;
+    cfg.degree = 3;
+    cfg.gravity = 0;
+    cfg.ltsRate = rate;
+    auto sim = std::make_unique<Simulation>(mesh, mats, cfg);
+    sim->setInitialCondition([](const Vec3& x, int) {
+      std::array<real, 9> q{};
+      const real g = std::exp(-norm2(x - Vec3{0.5, 0.5, 0.6}) / 0.03);
+      q[kSxx] = q[kSyy] = q[kSzz] = g;
+      q[kVz] = 0.3 * g;
+      return q;
+    });
+    return sim;
+  };
+  auto lts = makeSim(4);
+  ASSERT_GE(lts->clusters().numClusters, 2);
+  EXPECT_EQ(lts->clusters().rate, 4);
+  // One rate-4 coarse step covers four fine steps.
+  EXPECT_EQ(lts->clusters().ticksPerMacro(),
+            lts->clusters().spanOf(lts->clusters().numClusters - 1));
+  auto gts = makeSim(1);
+  lts->advanceTo(0.12);
+  gts->advanceTo(lts->time());
+  real maxDiff = 0, maxVal = 0;
+  for (const Vec3 p :
+       {Vec3{0.5, 0.5, 0.3}, Vec3{0.5, 0.5, 0.6}, Vec3{0.4, 0.6, 0.78},
+        Vec3{0.55, 0.35, 0.9}, Vec3{0.5, 0.5, 0.97}}) {
+    const auto a = lts->evaluateAt(p);
+    const auto b = gts->evaluateAt(p);
+    for (int q = 0; q < 9; ++q) {
+      maxDiff = std::max(maxDiff, std::abs(a[q] - b[q]));
+      maxVal = std::max(maxVal, std::abs(b[q]));
+    }
+  }
+  EXPECT_LT(maxDiff, 8e-3 * maxVal);
+}
+
 TEST(LtsDeep, UpdateCountMatchesClusterHistogram) {
   const Mesh mesh = threeLayerMesh();
   SolverConfig cfg;

@@ -37,6 +37,7 @@ end_time      = 10.0         # [s]
 output_prefix = run
 vtk_output    = true         # write wavefield + sea-surface VTK at the end
 lts           = true         # rate-2 clustered local time stepping
+deterministic = false        # bitwise-reproducible stepping across thread counts
 snapshots     = 4            # progress reports over the run
 )";
 
@@ -48,6 +49,7 @@ int run(const std::string& configPath) {
   const std::string prefix = cfg.getString("output_prefix", "run");
   const bool vtk = cfg.getBool("vtk_output", true);
   const bool lts = cfg.getBool("lts", true);
+  const bool deterministic = cfg.getBool("deterministic", false);
   const int snapshots = cfg.getInt("snapshots", 4);
   for (const auto& key : cfg.unusedKeys()) {
     std::fprintf(stderr, "warning: unknown configuration key '%s'\n",
@@ -64,6 +66,7 @@ int run(const std::string& configPath) {
     const MegathrustScenario s = buildMegathrustScenario(p);
     SolverConfig sc = megathrustSolverConfig(degree);
     sc.ltsRate = lts ? 2 : 1;
+    sc.deterministic = deterministic;
     sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
     sim->setInitialCondition([](const Vec3&, int) {
       return std::array<real, 9>{};
@@ -77,6 +80,7 @@ int run(const std::string& configPath) {
     const PaluScenario s = buildPaluScenario(p);
     SolverConfig sc = paluSolverConfig(degree);
     sc.ltsRate = lts ? 2 : 1;
+    sc.deterministic = deterministic;
     sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
     sim->setInitialCondition([](const Vec3&, int) {
       return std::array<real, 9>{};
@@ -95,6 +99,7 @@ int run(const std::string& configPath) {
     SolverConfig sc;
     sc.degree = degree;
     sc.ltsRate = lts ? 2 : 1;
+    sc.deterministic = deterministic;
     sim = std::make_unique<Simulation>(
         buildBoxMesh(spec),
         std::vector<Material>{Material::fromVelocities(2700, 6000, 3464),
