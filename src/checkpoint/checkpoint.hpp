@@ -1,0 +1,103 @@
+#pragma once
+
+// Checkpoint/restart serialization (the role of SeisSol's checkpointing
+// for the paper's multi-hour production runs, Sec. 6): a versioned binary
+// container with
+//
+//   magic "TSGCKPT\0" | u32 version | u32 degree | u64 elements
+//   | u64 config hash | u64 payload size | u32 CRC32(payload) | payload
+//
+// written atomically (temp file + rename, src/io/atomic_file.hpp) so that
+// a crash -- including SIGKILL mid-write -- never corrupts the last good
+// checkpoint.  The payload is a flat stream of scalars/arrays produced by
+// BinaryWriter and consumed by BinaryReader; Simulation::saveCheckpoint /
+// restoreCheckpoint define the actual field order.
+//
+// All multi-byte values are native-endian: checkpoints are restart files
+// for the machine (or homogeneous cluster) that wrote them, not an
+// archival interchange format.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/types.hpp"
+
+namespace tsg {
+
+/// Unreadable, corrupt, or incompatible checkpoint file.  Derives from
+/// IoError so the CLI maps it onto the I/O-failure exit code (4).
+class CheckpointError : public IoError {
+ public:
+  explicit CheckpointError(const std::string& what) : IoError(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of a byte range.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Appends POD scalars and arrays to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void writeU32(std::uint32_t v) { writeRaw(&v, sizeof v); }
+  void writeU64(std::uint64_t v) { writeRaw(&v, sizeof v); }
+  void writeI64(std::int64_t v) { writeRaw(&v, sizeof v); }
+  void writeReal(real v) { writeRaw(&v, sizeof v); }
+  /// Length-prefixed real array.
+  void writeRealVec(const std::vector<real>& v);
+  /// Length-prefixed byte string.
+  void writeString(const std::string& s);
+
+  const std::string& buffer() const { return buf_; }
+  std::string takeBuffer() { return std::move(buf_); }
+
+ private:
+  void writeRaw(const void* p, std::size_t n);
+  std::string buf_;
+};
+
+/// Reads the stream written by BinaryWriter; throws CheckpointError on
+/// underflow (truncation that slipped past the size check) instead of
+/// reading garbage.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string payload) : buf_(std::move(payload)) {}
+
+  std::uint32_t readU32();
+  std::uint64_t readU64();
+  std::int64_t readI64();
+  real readReal();
+  std::vector<real> readRealVec();
+  std::string readString();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void readRaw(void* p, std::size_t n);
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+struct CheckpointHeader {
+  std::uint32_t version = kCheckpointFormatVersion;
+  std::uint32_t degree = 0;
+  std::uint64_t numElements = 0;
+  std::uint64_t configHash = 0;
+};
+
+/// Serialize header + payload and write the file atomically.  Throws
+/// IoError on filesystem failure.
+void writeCheckpointFile(const std::string& path, const CheckpointHeader& h,
+                         const std::string& payload);
+
+/// Read and validate a checkpoint container: magic, format version,
+/// payload size (truncation), and CRC.  Returns the header and fills
+/// `payload`; throws CheckpointError with a descriptive message naming the
+/// path and the failed check.
+CheckpointHeader readCheckpointFile(const std::string& path,
+                                    std::string& payload);
+
+}  // namespace tsg

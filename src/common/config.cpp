@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/errors.hpp"
 
 namespace tsg {
 
@@ -27,7 +29,7 @@ std::string trim(const std::string& s) {
 ConfigFile ConfigFile::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("ConfigFile: cannot open " + path);
+    throw ConfigError("ConfigFile: cannot open " + path);
   }
   std::stringstream ss;
   ss << in.rdbuf();
@@ -51,14 +53,14 @@ ConfigFile ConfigFile::parse(const std::string& text) {
     }
     const std::size_t eq = line.find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error("ConfigFile: missing '=' on line " +
-                               std::to_string(lineNo) + ": " + line);
+      throw ConfigError("ConfigFile: missing '=' on line " +
+                        std::to_string(lineNo) + ": " + line);
     }
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
     if (key.empty()) {
-      throw std::runtime_error("ConfigFile: empty key on line " +
-                               std::to_string(lineNo));
+      throw ConfigError("ConfigFile: empty key on line " +
+                        std::to_string(lineNo));
     }
     cfg.values_[key] = value;
   }
@@ -82,6 +84,9 @@ double ConfigFile::getNumber(const std::string& key, double dflt) const {
   if (it == values_.end()) {
     return dflt;
   }
+  // std::stod alone would accept trailing garbage ("10.0abc" -> 10.0) and
+  // non-finite spellings ("nan", "inf", "1e999"); neither is ever a valid
+  // solver parameter, so both are hard errors rather than silent defaults.
   std::size_t pos = 0;
   double v = 0;
   try {
@@ -90,14 +95,22 @@ double ConfigFile::getNumber(const std::string& key, double dflt) const {
     pos = 0;
   }
   if (pos != it->second.size()) {
-    throw std::runtime_error("ConfigFile: not a number: " + key + " = " +
-                             it->second);
+    throw ConfigError("ConfigFile: not a number: " + key + " = " +
+                      it->second);
+  }
+  if (!std::isfinite(v)) {
+    throw ConfigError("ConfigFile: not a finite number: " + key + " = " +
+                      it->second);
   }
   return v;
 }
 
 int ConfigFile::getInt(const std::string& key, int dflt) const {
-  return static_cast<int>(getNumber(key, dflt));
+  const double v = getNumber(key, dflt);
+  if (v != std::floor(v)) {
+    throw ConfigError("ConfigFile: not an integer: " + key);
+  }
+  return static_cast<int>(v);
 }
 
 bool ConfigFile::getBool(const std::string& key, bool dflt) const {
@@ -114,8 +127,8 @@ bool ConfigFile::getBool(const std::string& key, bool dflt) const {
   if (v == "false" || v == "no" || v == "off" || v == "0") {
     return false;
   }
-  throw std::runtime_error("ConfigFile: not a boolean: " + key + " = " +
-                           it->second);
+  throw ConfigError("ConfigFile: not a boolean: " + key + " = " +
+                    it->second);
 }
 
 std::set<std::string> ConfigFile::unusedKeys() const {

@@ -13,7 +13,10 @@ namespace tsg {
 
 class ConfigFile {
  public:
-  /// Parse from a file; throws std::runtime_error on I/O or syntax errors.
+  /// Parse from a file; throws ConfigError on I/O or syntax errors.  The
+  /// typed getters throw ConfigError for malformed values: trailing
+  /// garbage, non-finite numbers, and fractional values queried as ints
+  /// are all errors, never silently truncated or defaulted.
   static ConfigFile load(const std::string& path);
   /// Parse from a string (testing).
   static ConfigFile parse(const std::string& text);

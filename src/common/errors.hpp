@@ -1,0 +1,34 @@
+#pragma once
+
+// Typed error hierarchy for operational failure modes.  The CLI maps these
+// onto distinct exit codes (see tools/tsunamigen_cli.cpp) so that batch
+// schedulers and retry wrappers can tell a typoed parameter file (fix and
+// resubmit) from a full disk (move the run) from a diverged solver
+// (re-mesh / shrink the CFL fraction):
+//
+//   ConfigError          -> exit 2   user-facing configuration problem
+//   SolverDivergedError  -> exit 3   numerical blow-up (health monitor)
+//   IoError              -> exit 4   filesystem / output-path problem
+//
+// CheckpointError (src/checkpoint/checkpoint.hpp) derives from IoError;
+// SolverDivergedError (src/solver/health_monitor.hpp) derives from
+// std::runtime_error and carries a structured incident report.
+
+#include <stdexcept>
+#include <string>
+
+namespace tsg {
+
+/// Invalid or inconsistent user configuration (parameter files, CLI keys).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Filesystem-level failure: unwritable path, short write, failed rename.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace tsg

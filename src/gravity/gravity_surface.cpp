@@ -119,6 +119,41 @@ std::vector<SurfaceSample> GravityBoundary::allSamples() const {
   return out;
 }
 
+void GravityBoundary::saveState(BinaryWriter& w) const {
+  w.writeU64(faces_.size());
+  for (const auto& gf : faces_) {
+    w.writeRealVec(gf.eta);
+  }
+}
+
+void GravityBoundary::restoreState(BinaryReader& r) {
+  const std::uint64_t n = r.readU64();
+  if (n != faces_.size()) {
+    throw CheckpointError(
+        "checkpoint: gravity-surface face count mismatch (file " +
+        std::to_string(n) + ", live " + std::to_string(faces_.size()) + ")");
+  }
+  for (auto& gf : faces_) {
+    std::vector<real> eta = r.readRealVec();
+    if (eta.size() != gf.eta.size()) {
+      throw CheckpointError(
+          "checkpoint: gravity-surface quadrature size mismatch");
+    }
+    gf.eta = std::move(eta);
+  }
+}
+
+int GravityBoundary::firstNonFiniteFace() const {
+  for (std::size_t f = 0; f < faces_.size(); ++f) {
+    for (real e : faces_[f].eta) {
+      if (!std::isfinite(e)) {
+        return static_cast<int>(f);
+      }
+    }
+  }
+  return -1;
+}
+
 real GravityBoundary::sampleEtaNearest(real x, real y) const {
   real best = 1e300;
   real eta = 0;

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "geometry/mesh.hpp"
 #include "kernels/reference_matrices.hpp"
 #include "physics/material.hpp"
@@ -64,6 +65,15 @@ class GravityBoundary {
   real sampleEtaNearest(real x, real y) const;
 
   real gravity() const { return gravity_; }
+
+  // ---- checkpointing / health -----------------------------------------
+  /// Append the mutable state (eta per face) to a checkpoint stream.
+  void saveState(BinaryWriter& w) const;
+  /// Restore eta from a checkpoint stream; throws CheckpointError if the
+  /// face count or quadrature size does not match this boundary.
+  void restoreState(BinaryReader& r);
+  /// Index of the first face with a non-finite eta sample, or -1.
+  int firstNonFiniteFace() const;
 
  private:
   int degree_;

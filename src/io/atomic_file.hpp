@@ -1,0 +1,23 @@
+#pragma once
+
+// Atomic whole-file writes: every output path of the solver (receiver CSV,
+// VTK, checkpoints, incident reports) is produced by writing the complete
+// content to a sibling temporary file and then rename(2)-ing it over the
+// destination.  POSIX rename within a directory is atomic, so a crash --
+// including SIGKILL mid-checkpoint -- either leaves the previous file
+// intact or the new one complete, never a truncated hybrid.
+
+#include <string>
+
+namespace tsg {
+
+/// Write `content` to `path` atomically (temp file + rename).  Throws
+/// IoError naming the path on any failure (unwritable directory, short
+/// write, failed rename); the pre-existing file at `path`, if any, is left
+/// untouched in that case.
+void atomicWriteFile(const std::string& path, const std::string& content);
+
+/// Entire file as a byte string; throws IoError if it cannot be opened.
+std::string readFileBytes(const std::string& path);
+
+}  // namespace tsg

@@ -1,18 +1,20 @@
 #include "io/vtk_writer.hpp"
 
 #include <cmath>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "io/atomic_file.hpp"
 
 namespace tsg {
 
 namespace {
 
-void writeHeader(std::ofstream& out, const std::string& title) {
+void writeHeader(std::ostream& out, const std::string& title) {
   out << "# vtk DataFile Version 3.0\n" << title << "\nASCII\n";
 }
 
-void writeTetGrid(std::ofstream& out, const Mesh& mesh) {
+void writeTetGrid(std::ostream& out, const Mesh& mesh) {
   out << "DATASET UNSTRUCTURED_GRID\n";
   out << "POINTS " << mesh.vertices.size() << " double\n";
   for (const auto& v : mesh.vertices) {
@@ -34,10 +36,7 @@ void writeTetGrid(std::ofstream& out, const Mesh& mesh) {
 
 void writeVtkMesh(const std::string& path, const Mesh& mesh,
                   const std::map<std::string, std::vector<real>>& cellData) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("writeVtkMesh: cannot open " + path);
-  }
+  std::ostringstream out;
   writeHeader(out, "tsunamigen mesh");
   writeTetGrid(out, mesh);
   if (!cellData.empty()) {
@@ -53,6 +52,7 @@ void writeVtkMesh(const std::string& path, const Mesh& mesh,
       }
     }
   }
+  atomicWriteFile(path, out.str());  // throws IoError naming the path
 }
 
 void writeVtkWavefield(const std::string& path, const Simulation& sim) {
@@ -78,10 +78,7 @@ void writeVtkWavefield(const std::string& path, const Simulation& sim) {
 
 void writeVtkSurface(const std::string& path,
                      const std::vector<SurfaceSample>& samples) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("writeVtkSurface: cannot open " + path);
-  }
+  std::ostringstream out;
   writeHeader(out, "tsunamigen sea surface");
   out << "DATASET POLYDATA\n";
   out << "POINTS " << samples.size() << " double\n";
@@ -97,6 +94,7 @@ void writeVtkSurface(const std::string& path,
   for (const auto& s : samples) {
     out << s.eta << "\n";
   }
+  atomicWriteFile(path, out.str());  // throws IoError naming the path
 }
 
 }  // namespace tsg

@@ -261,6 +261,66 @@ real FaultSolver::maxSlipRate() const {
   return m;
 }
 
+void FaultSolver::saveState(BinaryWriter& w) const {
+  // Field-by-field (not a raw struct copy) so the on-disk format does not
+  // depend on FaultPointState's in-memory layout or padding.
+  w.writeU64(faces_.size());
+  for (const auto& ff : faces_) {
+    w.writeU64(ff.state.size());
+    for (const auto& st : ff.state) {
+      w.writeReal(st.slip);
+      w.writeReal(st.slip1);
+      w.writeReal(st.slip2);
+      w.writeReal(st.psi);
+      w.writeReal(st.slipRate);
+      w.writeReal(st.tau1);
+      w.writeReal(st.tau2);
+      w.writeReal(st.sigmaN);
+      w.writeReal(st.ruptureTime);
+    }
+  }
+}
+
+void FaultSolver::restoreState(BinaryReader& r) {
+  const std::uint64_t n = r.readU64();
+  if (n != faces_.size()) {
+    throw CheckpointError("checkpoint: fault face count mismatch (file " +
+                          std::to_string(n) + ", live " +
+                          std::to_string(faces_.size()) + ")");
+  }
+  for (auto& ff : faces_) {
+    const std::uint64_t np = r.readU64();
+    if (np != ff.state.size()) {
+      throw CheckpointError("checkpoint: fault point count mismatch");
+    }
+    for (auto& st : ff.state) {
+      st.slip = r.readReal();
+      st.slip1 = r.readReal();
+      st.slip2 = r.readReal();
+      st.psi = r.readReal();
+      st.slipRate = r.readReal();
+      st.tau1 = r.readReal();
+      st.tau2 = r.readReal();
+      st.sigmaN = r.readReal();
+      st.ruptureTime = r.readReal();
+    }
+  }
+}
+
+int FaultSolver::firstNonFiniteFace() const {
+  for (std::size_t f = 0; f < faces_.size(); ++f) {
+    for (const auto& st : faces_[f].state) {
+      if (!(std::isfinite(st.slip) && std::isfinite(st.slip1) &&
+            std::isfinite(st.slip2) && std::isfinite(st.psi) &&
+            std::isfinite(st.slipRate) && std::isfinite(st.tau1) &&
+            std::isfinite(st.tau2) && std::isfinite(st.sigmaN))) {
+        return static_cast<int>(f);
+      }
+    }
+  }
+  return -1;
+}
+
 real FaultSolver::totalSlipIntegral(const ReferenceMatrices& rm,
                                     const Mesh& mesh) const {
   real sum = 0;

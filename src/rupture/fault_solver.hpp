@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "common/matrix.hpp"
 #include "geometry/mesh.hpp"
 #include "kernels/reference_matrices.hpp"
@@ -87,6 +88,16 @@ class FaultSolver {
   /// Total moment-like integral: sum over points of slip * area-weight *
   /// mu (rough seismic moment when multiplied by rigidity).
   real totalSlipIntegral(const ReferenceMatrices& rm, const Mesh& mesh) const;
+
+  // ---- checkpointing / health -----------------------------------------
+  /// Append all mutable friction state (slip, psi, slip rate, tractions,
+  /// rupture times) to a checkpoint stream.
+  void saveState(BinaryWriter& w) const;
+  /// Restore friction state; throws CheckpointError on face/point count
+  /// mismatch against this solver.
+  void restoreState(BinaryReader& r);
+  /// Index of the first face whose state holds a non-finite value, or -1.
+  int firstNonFiniteFace() const;
 
  private:
   int degree_;

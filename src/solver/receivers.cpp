@@ -2,12 +2,19 @@
 
 #include <cmath>
 #include <complex>
-#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "io/atomic_file.hpp"
 
 namespace tsg {
 
 void Receiver::writeCsv(const std::string& path) const {
-  std::ofstream out(path);
+  // Full round-trippable precision: receiver CSVs are the byte-compared
+  // artifact of the determinism and checkpoint-resume acceptance tests,
+  // so every bit of the sampled state must reach the file.
+  std::ostringstream out;
+  out.precision(std::numeric_limits<real>::max_digits10);
   out << "t,sxx,syy,szz,sxy,syz,sxz,vx,vy,vz\n";
   for (std::size_t i = 0; i < times.size(); ++i) {
     out << times[i];
@@ -16,6 +23,7 @@ void Receiver::writeCsv(const std::string& path) const {
     }
     out << "\n";
   }
+  atomicWriteFile(path, out.str());  // throws IoError naming the path
 }
 
 real Receiver::peak(int quantity) const {

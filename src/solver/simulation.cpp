@@ -2,12 +2,15 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <type_traits>
 
 #include "basis/dubiner.hpp"
-
+#include "checkpoint/checkpoint.hpp"
 #include "geometry/reference_tet.hpp"
 #include "kernels/element_kernels.hpp"
 #include "physics/jacobians.hpp"
@@ -520,6 +523,202 @@ std::array<real, kNumQuantities> Simulation::evaluateAt(const Vec3& x) const {
     throw std::invalid_argument("evaluateAt: point outside mesh");
   }
   return evaluate(e, mesh_.toReference(e, x));
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t fnv1aOf(std::uint64_t h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a(h, &v, sizeof v);
+}
+
+}  // namespace
+
+std::uint64_t Simulation::configHash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h = fnv1aOf(h, cfg_.degree);
+  h = fnv1aOf(h, cfg_.cflFraction);
+  h = fnv1aOf(h, cfg_.gravity);
+  h = fnv1aOf(h, cfg_.ltsRate);
+  h = fnv1aOf(h, cfg_.maxClusters);
+  h = fnv1aOf(h, static_cast<int>(cfg_.frictionLaw));
+  // `deterministic` is deliberately excluded: it changes loop schedules,
+  // not the meaning or layout of the state.
+  h = fnv1aOf(h, mesh_.numElements());
+  h = fnv1aOf(h, clusters_.numClusters);
+  h = fnv1aOf(h, clusters_.dtMin);
+  return h;
+}
+
+void Simulation::saveCheckpoint(const std::string& path) const {
+  if (clusters_.numClusters > 0 && tick_ % clusters_.ticksPerMacro() != 0) {
+    throw std::logic_error(
+        "saveCheckpoint: state is only consistent at macro-cycle "
+        "boundaries (call between advanceTo calls or from onMacroStep)");
+  }
+  BinaryWriter w;
+  w.writeI64(tick_);
+  w.writeReal(time_);
+  w.writeU64(elementUpdates_);
+  w.writeRealVec(dofs_);
+  w.writeU32(gravity_ ? 1 : 0);
+  if (gravity_) {
+    gravity_->saveState(w);
+  }
+  w.writeU32(fault_ ? 1 : 0);
+  if (fault_) {
+    fault_->saveState(w);
+  }
+  w.writeU64(seafloorFaces_.size());
+  for (const auto& sf : seafloorFaces_) {
+    w.writeRealVec(sf.uplift);
+  }
+  w.writeU64(receivers_.size());
+  for (const auto& r : receivers_) {
+    w.writeString(r.name);
+    w.writeRealVec(r.times);
+    w.writeU64(r.samples.size());
+    for (const auto& s : r.samples) {
+      for (int q = 0; q < kNumQuantities; ++q) {
+        w.writeReal(s[q]);
+      }
+    }
+  }
+
+  CheckpointHeader h;
+  h.degree = static_cast<std::uint32_t>(cfg_.degree);
+  h.numElements = static_cast<std::uint64_t>(mesh_.numElements());
+  h.configHash = configHash();
+  writeCheckpointFile(path, h, w.takeBuffer());
+}
+
+void Simulation::restoreCheckpoint(const std::string& path) {
+  std::string payload;
+  const CheckpointHeader h = readCheckpointFile(path, payload);
+  if (h.degree != static_cast<std::uint32_t>(cfg_.degree)) {
+    throw CheckpointError("checkpoint " + path + ": degree mismatch (file " +
+                          std::to_string(h.degree) + ", live " +
+                          std::to_string(cfg_.degree) + ")");
+  }
+  if (h.numElements != static_cast<std::uint64_t>(mesh_.numElements())) {
+    throw CheckpointError(
+        "checkpoint " + path + ": element count mismatch (file " +
+        std::to_string(h.numElements) + ", live " +
+        std::to_string(mesh_.numElements()) + ")");
+  }
+  if (h.configHash != configHash()) {
+    throw CheckpointError(
+        "checkpoint " + path +
+        ": solver configuration hash mismatch (CFL fraction, gravity, LTS "
+        "rate/clusters, friction law, or timestep differ from the run that "
+        "wrote it)");
+  }
+
+  BinaryReader r(std::move(payload));
+  const std::int64_t tick = r.readI64();
+  const real time = r.readReal();
+  const std::uint64_t updates = r.readU64();
+  std::vector<real> dofs = r.readRealVec();
+  if (dofs.size() != dofs_.size()) {
+    throw CheckpointError("checkpoint " + path + ": DOF count mismatch");
+  }
+  const bool hasGravity = r.readU32() != 0;
+  if (hasGravity != (gravity_ != nullptr)) {
+    throw CheckpointError("checkpoint " + path +
+                          ": gravity-surface presence mismatch");
+  }
+  if (gravity_) {
+    gravity_->restoreState(r);
+  }
+  const bool hasFault = r.readU32() != 0;
+  if (hasFault != (fault_ != nullptr)) {
+    throw CheckpointError(
+        "checkpoint " + path +
+        ": fault presence mismatch (was setupFault() called as in the "
+        "original run?)");
+  }
+  if (fault_) {
+    fault_->restoreState(r);
+  }
+  const std::uint64_t nSeafloor = r.readU64();
+  if (nSeafloor != seafloorFaces_.size()) {
+    throw CheckpointError("checkpoint " + path +
+                          ": seafloor face count mismatch");
+  }
+  for (auto& sf : seafloorFaces_) {
+    std::vector<real> uplift = r.readRealVec();
+    if (uplift.size() != sf.uplift.size()) {
+      throw CheckpointError("checkpoint " + path +
+                            ": seafloor quadrature size mismatch");
+    }
+    sf.uplift = std::move(uplift);
+  }
+  const std::uint64_t nReceivers = r.readU64();
+  if (nReceivers != receivers_.size()) {
+    throw CheckpointError(
+        "checkpoint " + path + ": receiver count mismatch (file " +
+        std::to_string(nReceivers) + ", live " +
+        std::to_string(receivers_.size()) +
+        "); register the same receivers before restoring");
+  }
+  for (auto& rec : receivers_) {
+    const std::string name = r.readString();
+    if (name != rec.name) {
+      throw CheckpointError("checkpoint " + path +
+                            ": receiver name mismatch (file '" + name +
+                            "', live '" + rec.name + "')");
+    }
+    rec.times = r.readRealVec();
+    const std::uint64_t ns = r.readU64();
+    rec.samples.assign(ns, {});
+    for (auto& s : rec.samples) {
+      for (int q = 0; q < kNumQuantities; ++q) {
+        s[q] = r.readReal();
+      }
+    }
+  }
+
+  // Commit the clock and DOFs last.  The derived per-step buffers (stack,
+  // time integrals, LTS buffers) are all recomputed by the predictor phase
+  // at the start of the next macro cycle before anything reads them; zero
+  // them anyway so a restored run never observes pre-restore garbage.
+  tick_ = tick;
+  time_ = time;
+  elementUpdates_ = updates;
+  dofs_ = std::move(dofs);
+  std::fill(stack_.begin(), stack_.end(), 0.0);
+  std::fill(tInt_.begin(), tInt_.end(), 0.0);
+  std::fill(buffer_.begin(), buffer_.end(), 0.0);
+}
+
+int Simulation::firstNonFiniteElement() const {
+  const int n = mesh_.numElements();
+  int first = n;
+#pragma omp parallel for schedule(static) reduction(min : first)
+  for (int e = 0; e < n; ++e) {
+    const real* q = dofsOf(e);
+    for (int i = 0; i < nbq_; ++i) {
+      if (!std::isfinite(q[i])) {
+        first = std::min(first, e);
+        break;
+      }
+    }
+  }
+  return first == n ? -1 : first;
+}
+
+void Simulation::debugInjectNonFinite(int elem) {
+  dofsOf(elem)[0] = std::numeric_limits<real>::quiet_NaN();
 }
 
 std::vector<SurfaceSample> Simulation::seaSurface() const {

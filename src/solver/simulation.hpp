@@ -80,6 +80,8 @@ class Simulation {
   /// most one macro cycle).
   void advanceTo(real tEnd);
   real time() const { return time_; }
+  /// Completed dtMin ticks (time() == tick() * dtMin()).
+  std::int64_t tick() const { return tick_; }
   real dtMin() const { return clusters_.dtMin; }
   real macroDt() const;
 
@@ -106,6 +108,33 @@ class Simulation {
 
   /// Completed element updates (the LTS time-to-solution metric).
   std::uint64_t elementUpdates() const { return elementUpdates_; }
+
+  // ---- checkpoint / restart -------------------------------------------
+  /// Serialize the full mutable solver state (DOFs, clock, sea-surface
+  /// eta, fault friction state, seafloor uplift accumulators, receiver
+  /// series) to a versioned, CRC-protected binary file, written
+  /// atomically (temp + rename) so a crash mid-write never corrupts the
+  /// previous checkpoint.  Call between advanceTo calls / from an
+  /// onMacroStep callback: the state is only consistent at macro-cycle
+  /// boundaries.  Throws IoError on filesystem failure.
+  void saveCheckpoint(const std::string& path) const;
+  /// Restore state saved by saveCheckpoint into this simulation, which
+  /// must have been built identically (same mesh, degree, solver config,
+  /// fault setup, and registered receivers).  Throws CheckpointError with
+  /// a descriptive message on any mismatch or corruption; the simulation
+  /// state is unmodified if validation fails before the payload is
+  /// applied.
+  void restoreCheckpoint(const std::string& path);
+  /// Hash of everything that determines checkpoint compatibility (degree,
+  /// CFL fraction, gravity, LTS layout, friction law, mesh size, dtMin).
+  std::uint64_t configHash() const;
+
+  // ---- run health ------------------------------------------------------
+  /// Element index of the first non-finite DOF, or -1 (parallel scan).
+  int firstNonFiniteElement() const;
+  /// Test hook: poison one element's DOFs with a NaN, as a hard-to-trigger
+  /// instability would (used to exercise the health monitor).
+  void debugInjectNonFinite(int elem);
 
   /// Material of an element (resolved from the table).
   const Material& materialOf(int elem) const { return elemMaterial_[elem]; }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/config.hpp"
+#include "common/errors.hpp"
 #include "geometry/mesh_builder.hpp"
 #include "io/vtk_writer.hpp"
 #include "linking/kajiura.hpp"
@@ -226,12 +227,42 @@ typo_key = 7
 }
 
 TEST(Config, RejectsMalformedInput) {
-  EXPECT_THROW(ConfigFile::parse("novalue\n"), std::runtime_error);
-  EXPECT_THROW(ConfigFile::parse("= 3\n"), std::runtime_error);
+  EXPECT_THROW(ConfigFile::parse("novalue\n"), ConfigError);
+  EXPECT_THROW(ConfigFile::parse("= 3\n"), ConfigError);
   const ConfigFile cfg = ConfigFile::parse("a = abc\nb = maybe\n");
-  EXPECT_THROW(cfg.getNumber("a", 0), std::runtime_error);
-  EXPECT_THROW(cfg.getBool("b", false), std::runtime_error);
-  EXPECT_THROW(ConfigFile::load("/nonexistent/path.cfg"), std::runtime_error);
+  EXPECT_THROW(cfg.getNumber("a", 0), ConfigError);
+  EXPECT_THROW(cfg.getBool("b", false), ConfigError);
+  EXPECT_THROW(ConfigFile::load("/nonexistent/path.cfg"), ConfigError);
+}
+
+TEST(Config, RejectsTrailingGarbageAndNonFiniteNumbers) {
+  // "10.0abc" must be a hard error, not strtod-style silent truncation
+  // to 10.0 -- a typoed end_time would otherwise change the run silently.
+  const ConfigFile cfg = ConfigFile::parse(
+      "end_time = 10.0abc\nt2 = 1e3x\nn = nan\ni = inf\no = 1e999\nok = "
+      "2.5\n");
+  EXPECT_THROW(cfg.getNumber("end_time", 0), ConfigError);
+  EXPECT_THROW(cfg.getNumber("t2", 0), ConfigError);
+  EXPECT_THROW(cfg.getNumber("n", 0), ConfigError);   // non-finite spelling
+  EXPECT_THROW(cfg.getNumber("i", 0), ConfigError);
+  EXPECT_THROW(cfg.getNumber("o", 0), ConfigError);   // overflow to inf
+  EXPECT_EQ(cfg.getNumber("ok", 0), 2.5);
+}
+
+TEST(Config, GetIntRejectsFractionalValues) {
+  const ConfigFile cfg = ConfigFile::parse("degree = 2.5\nsnapshots = 4\n");
+  EXPECT_THROW(cfg.getInt("degree", 0), ConfigError);  // not truncated to 2
+  EXPECT_EQ(cfg.getInt("snapshots", 0), 4);
+  EXPECT_EQ(cfg.getInt("missing", 7), 7);
+}
+
+TEST(Receivers, WriteCsvThrowsIoErrorOnUnwritablePath) {
+  Receiver r;
+  r.name = "x";
+  r.times = {0.0, 0.1};
+  r.samples = {{}, {}};
+  // Previously this silently discarded the whole series.
+  EXPECT_THROW(r.writeCsv("/nonexistent-dir/sub/x.csv"), IoError);
 }
 
 }  // namespace

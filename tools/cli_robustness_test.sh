@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# CLI exit-code contract and failure-mode artifacts:
+#   exit 2  configuration errors (invalid values, trailing garbage, typos)
+#   exit 3  solver divergence (+ *_failure.vtk and *_incident.json)
+#   exit 4  I/O failures (missing/corrupt checkpoint, unwritable output)
+# Usage: cli_robustness_test.sh <path-to-tsunamigen_cli> <workdir>
+set -u
+
+CLI=$1
+DIR=$2
+rm -rf "$DIR"
+mkdir -p "$DIR"
+cd "$DIR"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+expect_exit() {
+  local expected=$1
+  local label=$2
+  local cfg=$3
+  "$CLI" "$cfg" >"$label.out" 2>"$label.err"
+  local code=$?
+  if [ "$code" -ne "$expected" ]; then
+    cat "$label.err" >&2
+    fail "$label: expected exit $expected, got $code"
+  fi
+}
+
+# --- exit 2: configuration errors ------------------------------------------
+printf 'scenario = quickstart\nend_time = -10\n' > neg_time.cfg
+expect_exit 2 neg_time neg_time.cfg
+grep -q "end_time" neg_time.err || fail "neg_time: message does not name the key"
+
+printf 'scenario = quickstart\nend_time = 10.0abc\n' > garbage.cfg
+expect_exit 2 garbage garbage.cfg
+
+printf 'scenario = quickstart\ndegree = 9\nend_time = 1\n' > degree.cfg
+expect_exit 2 degree degree.cfg
+
+printf 'scenario = quickstart\nsnapshots = 0\nend_time = 1\n' > snaps.cfg
+expect_exit 2 snaps snaps.cfg
+
+printf 'scenario = not-a-scenario\nend_time = 1\n' > scen.cfg
+expect_exit 2 scen scen.cfg
+
+# --- exit 4: I/O failures ---------------------------------------------------
+printf 'scenario = quickstart\nend_time = 1\nresume = missing.tsgck\n' > noresume.cfg
+expect_exit 4 noresume noresume.cfg
+
+printf 'not a checkpoint at all, just text padding to pass the size check....' > bad.tsgck
+printf 'scenario = quickstart\nend_time = 1\nresume = bad.tsgck\n' > badresume.cfg
+expect_exit 4 badresume badresume.cfg
+grep -q "magic" badresume.err || fail "badresume: expected a bad-magic diagnostic"
+
+printf 'scenario = quickstart\ndegree = 1\nend_time = 0.1\nsnapshots = 1\nvtk_output = false\noutput_prefix = no_such_dir/run\n' > badout.cfg
+expect_exit 4 badout badout.cfg
+
+# --- exit 3: solver divergence ---------------------------------------------
+printf 'scenario = quickstart\ndegree = 2\nend_time = 5\nsnapshots = 1\nvtk_output = false\noutput_prefix = blow\ncfl_fraction = 3.0\n' > blow.cfg
+expect_exit 3 blow blow.cfg
+[ -f blow_incident.json ] || fail "divergence did not write blow_incident.json"
+[ -f blow_failure.vtk ] || fail "divergence did not write blow_failure.vtk"
+grep -q '"reason"' blow_incident.json || fail "incident json has no reason field"
+
+echo "cli_robustness: OK"

@@ -1,29 +1,35 @@
 // tsunamigen CLI driver: run a named scenario from a key = value
 // parameter file (the role of SeisSol's parameter file) and write VTK +
-// CSV output.
+// receiver-CSV output, with checkpoint/restart and run-health guardrails
+// for operating long runs.
 //
 // Usage:
 //   tsunamigen_cli <config-file>
 //   tsunamigen_cli --example-config     (prints a template and exits)
 //
-// Example configuration:
-//   scenario      = megathrust      # quickstart | megathrust | palu
-//   degree        = 2
-//   end_time      = 10.0
-//   output_prefix = run1
-//   vtk_output    = true
-//   lts           = true
+// Exit codes (machine-readable for schedulers / retry wrappers):
+//   0  success
+//   2  configuration error (bad key, invalid value, unknown scenario)
+//   3  solver diverged (health monitor; *_failure.vtk + *_incident.json)
+//   4  I/O failure (unwritable output, unreadable/corrupt checkpoint)
+//   1  any other error
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <memory>
 #include <string>
 
 #include "common/config.hpp"
+#include "common/errors.hpp"
+#include "checkpoint/checkpoint.hpp"
 #include "geometry/mesh_builder.hpp"
 #include "io/vtk_writer.hpp"
 #include "scenario/megathrust.hpp"
 #include "scenario/palu.hpp"
 #include "solver/diagnostics.hpp"
+#include "solver/health_monitor.hpp"
 #include "solver/simulation.hpp"
 
 using namespace tsg;
@@ -31,62 +37,142 @@ using namespace tsg;
 namespace {
 
 constexpr const char* kTemplate = R"(# tsunamigen run configuration
-scenario      = megathrust   # quickstart | megathrust | palu
-degree        = 2            # polynomial order 1..5
-end_time      = 10.0         # [s]
-output_prefix = run
-vtk_output    = true         # write wavefield + sea-surface VTK at the end
-lts           = true         # rate-2 clustered local time stepping
-deterministic = false        # bitwise-reproducible stepping across thread counts
-snapshots     = 4            # progress reports over the run
+scenario            = megathrust   # quickstart | megathrust | palu
+degree              = 2            # polynomial order 1..5
+end_time            = 10.0         # [s], > 0
+output_prefix       = run
+vtk_output          = true         # write wavefield + sea-surface VTK at the end
+lts                 = true         # rate-2 clustered local time stepping
+deterministic       = false        # bitwise-reproducible stepping across thread counts
+snapshots           = 4            # progress reports over the run (>= 1)
+# --- operating long runs (see README "Operating long runs") ---
+checkpoint_interval = 0            # [s] of simulated time between checkpoints; 0 = off
+keep_checkpoints    = 3            # checkpoint files retained (rotation)
+resume              =              # path to a checkpoint to restart from
+health_check        = true         # NaN/Inf + energy blow-up monitor per macro cycle
+max_energy_growth   = 100.0        # allowed energy growth factor per macro cycle
+# cfl_fraction      = 0.35         # override the CFL fraction (expert)
 )";
 
-int run(const std::string& configPath) {
-  const ConfigFile cfg = ConfigFile::load(configPath);
-  const std::string scenario = cfg.getString("scenario", "quickstart");
-  const int degree = cfg.getInt("degree", 2);
-  const real endTime = cfg.getNumber("end_time", 2.0);
-  const std::string prefix = cfg.getString("output_prefix", "run");
-  const bool vtk = cfg.getBool("vtk_output", true);
-  const bool lts = cfg.getBool("lts", true);
-  const bool deterministic = cfg.getBool("deterministic", false);
-  const int snapshots = cfg.getInt("snapshots", 4);
+struct CliOptions {
+  std::string scenario;
+  int degree = 2;
+  real endTime = 2.0;
+  std::string prefix = "run";
+  bool vtk = true;
+  bool lts = true;
+  bool deterministic = false;
+  int snapshots = 4;
+  real checkpointInterval = 0;
+  int keepCheckpoints = 3;
+  std::string resume;
+  bool healthCheck = true;
+  real maxEnergyGrowth = 100.0;
+  real cflFraction = 0;  // 0 = scenario default
+};
+
+/// Read and validate all options.  Throws ConfigError (exit 2) on any
+/// invalid value instead of silently running a zero-step "success".
+CliOptions readOptions(const ConfigFile& cfg) {
+  CliOptions o;
+  o.scenario = cfg.getString("scenario", "quickstart");
+  o.degree = cfg.getInt("degree", 2);
+  o.endTime = cfg.getNumber("end_time", 2.0);
+  o.prefix = cfg.getString("output_prefix", "run");
+  o.vtk = cfg.getBool("vtk_output", true);
+  o.lts = cfg.getBool("lts", true);
+  o.deterministic = cfg.getBool("deterministic", false);
+  o.snapshots = cfg.getInt("snapshots", 4);
+  o.checkpointInterval = cfg.getNumber("checkpoint_interval", 0.0);
+  o.keepCheckpoints = cfg.getInt("keep_checkpoints", 3);
+  o.resume = cfg.getString("resume", "");
+  o.healthCheck = cfg.getBool("health_check", true);
+  o.maxEnergyGrowth = cfg.getNumber("max_energy_growth", 100.0);
+  o.cflFraction = cfg.getNumber("cfl_fraction", 0.0);
   for (const auto& key : cfg.unusedKeys()) {
     std::fprintf(stderr, "warning: unknown configuration key '%s'\n",
                  key.c_str());
   }
 
+  if (o.scenario != "quickstart" && o.scenario != "megathrust" &&
+      o.scenario != "palu") {
+    throw ConfigError("unknown scenario '" + o.scenario +
+                      "' (expected quickstart | megathrust | palu)");
+  }
+  if (!(o.endTime > 0)) {
+    throw ConfigError("end_time must be > 0 (got " +
+                      std::to_string(o.endTime) + ")");
+  }
+  if (o.degree < 1 || o.degree > kMaxDegree) {
+    throw ConfigError("degree must be in 1.." + std::to_string(kMaxDegree) +
+                      " (got " + std::to_string(o.degree) + ")");
+  }
+  if (o.snapshots < 1) {
+    throw ConfigError("snapshots must be >= 1 (got " +
+                      std::to_string(o.snapshots) + ")");
+  }
+  if (o.checkpointInterval < 0) {
+    throw ConfigError("checkpoint_interval must be >= 0 (got " +
+                      std::to_string(o.checkpointInterval) + ")");
+  }
+  if (o.keepCheckpoints < 1) {
+    throw ConfigError("keep_checkpoints must be >= 1 (got " +
+                      std::to_string(o.keepCheckpoints) + ")");
+  }
+  if (!(o.maxEnergyGrowth > 1)) {
+    throw ConfigError("max_energy_growth must be > 1");
+  }
+  if (o.cflFraction < 0) {
+    throw ConfigError("cfl_fraction must be > 0 when set");
+  }
+  return o;
+}
+
+/// Build the scenario's simulation with its standard receivers.  Resumed
+/// runs must rebuild the identical setup, so everything here is a pure
+/// function of the validated options.
+std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
   std::unique_ptr<Simulation> sim;
-  if (scenario == "megathrust") {
+  if (o.scenario == "megathrust") {
     MegathrustParams p;
     p.h = 3000.0;
     p.faultAlongStrike = 12000.0;
     p.faultDownDip = 9000.0;
     p.domainPadding = 12000.0;
     const MegathrustScenario s = buildMegathrustScenario(p);
-    SolverConfig sc = megathrustSolverConfig(degree);
-    sc.ltsRate = lts ? 2 : 1;
-    sc.deterministic = deterministic;
+    SolverConfig sc = megathrustSolverConfig(o.degree);
+    sc.ltsRate = o.lts ? 2 : 1;
+    sc.deterministic = o.deterministic;
+    if (o.cflFraction > 0) {
+      sc.cflFraction = o.cflFraction;
+    }
     sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
     sim->setInitialCondition([](const Vec3&, int) {
       return std::array<real, 9>{};
     });
     sim->setupFault(s.faultInit);
-  } else if (scenario == "palu") {
+    sim->addReceiver("water", {0.0, 0.0, -1000.0});
+    sim->addReceiver("crust", {2000.0, 1000.0, -4000.0});
+  } else if (o.scenario == "palu") {
     PaluParams p;
     p.hFault = 3000.0;
     p.hWaterVertical = 350.0;
     p.shelfDepth = 200.0;
     const PaluScenario s = buildPaluScenario(p);
-    SolverConfig sc = paluSolverConfig(degree);
-    sc.ltsRate = lts ? 2 : 1;
-    sc.deterministic = deterministic;
+    SolverConfig sc = paluSolverConfig(o.degree);
+    sc.ltsRate = o.lts ? 2 : 1;
+    sc.deterministic = o.deterministic;
+    if (o.cflFraction > 0) {
+      sc.cflFraction = o.cflFraction;
+    }
     sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
     sim->setInitialCondition([](const Vec3&, int) {
       return std::array<real, 9>{};
     });
     sim->setupFault(s.faultInit);
-  } else if (scenario == "quickstart") {
+    sim->addReceiver("bay", {0.0, -10000.0, -300.0});
+    sim->addReceiver("crust", {0.0, 0.0, -5000.0});
+  } else {  // quickstart
     BoxMeshSpec spec;
     spec.xLines = uniformLine(0, 4000, 8);
     spec.yLines = uniformLine(0, 4000, 8);
@@ -97,9 +183,12 @@ int run(const std::string& configPath) {
                         : BoundaryType::kAbsorbing;
     };
     SolverConfig sc;
-    sc.degree = degree;
-    sc.ltsRate = lts ? 2 : 1;
-    sc.deterministic = deterministic;
+    sc.degree = o.degree;
+    sc.ltsRate = o.lts ? 2 : 1;
+    sc.deterministic = o.deterministic;
+    if (o.cflFraction > 0) {
+      sc.cflFraction = o.cflFraction;
+    }
     sim = std::make_unique<Simulation>(
         buildBoxMesh(spec),
         std::vector<Material>{Material::fromVelocities(2700, 6000, 3464),
@@ -114,17 +203,88 @@ int run(const std::string& configPath) {
       }
       return q;
     });
-  } else {
-    std::fprintf(stderr, "error: unknown scenario '%s'\n", scenario.c_str());
-    return 2;
+    sim->addReceiver("water", {2000.0, 2000.0, -500.0});
+    sim->addReceiver("crust", {2000.0, 2000.0, -2000.0});
+  }
+  return sim;
+}
+
+/// Periodic checkpointing at macro-cycle boundaries with rotation: writes
+/// <prefix>_ckpt_<tick>.tsgck once per `interval` of simulated time and
+/// keeps the newest `keep` files.
+class CheckpointRotation {
+ public:
+  CheckpointRotation(std::string prefix, real interval, int keep)
+      : prefix_(std::move(prefix)), interval_(interval), keep_(keep) {}
+
+  void attach(Simulation& sim) {
+    nextTime_ = nextMultipleAfter(sim.time());
+    sim.onMacroStep([this, &sim](real t) {
+      if (t < nextTime_) {
+        return;
+      }
+      const std::string path =
+          prefix_ + "_ckpt_" + std::to_string(sim.tick()) + ".tsgck";
+      sim.saveCheckpoint(path);
+      std::printf("checkpoint: wrote %s (t = %.6g s)\n", path.c_str(), t);
+      written_.push_back(path);
+      while (static_cast<int>(written_.size()) > keep_) {
+        std::remove(written_.front().c_str());
+        written_.pop_front();
+      }
+      nextTime_ = nextMultipleAfter(t);
+    });
+  }
+
+ private:
+  real nextMultipleAfter(real t) const {
+    // Align to absolute multiples of the interval so that a resumed run
+    // checkpoints at the same simulated times as an uninterrupted one.
+    return (std::floor(t / interval_) + 1) * interval_;
+  }
+
+  std::string prefix_;
+  real interval_;
+  int keep_;
+  real nextTime_ = 0;
+  std::deque<std::string> written_;
+};
+
+int run(const std::string& configPath) {
+  const ConfigFile cfg = ConfigFile::load(configPath);
+  const CliOptions o = readOptions(cfg);
+
+  std::unique_ptr<Simulation> sim = buildSimulation(o);
+  if (!o.resume.empty()) {
+    sim->restoreCheckpoint(o.resume);
+    std::printf("resumed from %s at t = %.6g s (tick %lld)\n",
+                o.resume.c_str(), sim->time(),
+                static_cast<long long>(sim->tick()));
+  }
+
+  // Health checks run before the checkpoint callback (registration
+  // order), so a diverged state is never checkpointed.
+  HealthMonitor monitor{[&] {
+    HealthMonitorConfig hc;
+    hc.maxEnergyGrowthFactor = o.maxEnergyGrowth;
+    hc.outputPrefix = o.prefix;
+    return hc;
+  }()};
+  if (o.healthCheck) {
+    monitor.attach(*sim);
+  }
+  CheckpointRotation rotation(o.prefix, o.checkpointInterval,
+                              o.keepCheckpoints);
+  if (o.checkpointInterval > 0) {
+    rotation.attach(*sim);
   }
 
   std::printf("scenario %s: %d elements, order %d, dt_min %.3e s, "
               "%d LTS clusters\n",
-              scenario.c_str(), sim->mesh().numElements(), degree,
+              o.scenario.c_str(), sim->mesh().numElements(), o.degree,
               sim->dtMin(), sim->clusters().numClusters);
-  for (int s = 1; s <= snapshots; ++s) {
-    sim->advanceTo(endTime * s / snapshots);
+  for (int s = 1; s <= o.snapshots; ++s) {
+    sim->advanceTo(o.endTime * s / o.snapshots);
     const EnergyBudget e = computeEnergy(*sim);
     real maxEta = 0;
     for (const auto& sample : sim->seaSurface()) {
@@ -136,11 +296,15 @@ int run(const std::string& configPath) {
                 maxEta);
   }
 
-  if (vtk) {
-    writeVtkWavefield(prefix + "_wavefield.vtk", *sim);
-    writeVtkSurface(prefix + "_surface.vtk", sim->seaSurface());
-    std::printf("wrote %s_wavefield.vtk, %s_surface.vtk\n", prefix.c_str(),
-                prefix.c_str());
+  for (int r = 0; r < sim->numReceivers(); ++r) {
+    const Receiver& rec = sim->receiver(r);
+    rec.writeCsv(o.prefix + "_receiver_" + rec.name + ".csv");
+  }
+  if (o.vtk) {
+    writeVtkWavefield(o.prefix + "_wavefield.vtk", *sim);
+    writeVtkSurface(o.prefix + "_surface.vtk", sim->seaSurface());
+    std::printf("wrote %s_wavefield.vtk, %s_surface.vtk\n", o.prefix.c_str(),
+                o.prefix.c_str());
   }
   return 0;
 }
@@ -160,6 +324,16 @@ int main(int argc, char** argv) {
   }
   try {
     return run(argv[1]);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "configuration error: %s\n", e.what());
+    return 2;
+  } catch (const SolverDivergedError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const IoError& e) {
+    // Includes CheckpointError: unreadable/corrupt/incompatible restarts.
+    std::fprintf(stderr, "I/O error: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
