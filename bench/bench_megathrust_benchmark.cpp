@@ -17,13 +17,16 @@
 // short-wavelength ocean-acoustic oscillations; differences appear near
 // the beach which only the linked model contains.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "common/table.hpp"
 #include "linking/one_way_linking.hpp"
+#include "perf/perf_monitor.hpp"
 #include "scenario/megathrust.hpp"
 #include "solver/simulation.hpp"
 #include "swe/swe_solver.hpp"
@@ -79,6 +82,73 @@ int main() {
   sim.advanceTo(tEnd);
   std::printf("coupled done at t = %.2f s; max slip rate seen %.2f m/s\n",
               sim.time(), sim.fault()->maxSlipRate());
+
+  // ---- kernel-pipeline head-to-head -> BENCH_kernels.json ---------------
+  // Fresh sims on the coupled scenario, reference vs batched, identical
+  // work; the batched run carries the PerfMonitor whose phase breakdown
+  // (plus the measured speedup) becomes the machine-readable report.
+  {
+    auto buildTimed = [&](KernelPath path) {
+      SolverConfig c = megathrustSolverConfig(degree);
+      c.kernelPath = path;
+      auto s = std::make_unique<Simulation>(coupled.mesh, coupled.materials, c);
+      s->setInitialCondition([](const Vec3&, int) {
+        return std::array<real, 9>{};
+      });
+      s->setupFault(coupled.faultInit);
+      return s;
+    };
+    const real benchTEnd = std::max<real>(0.25 * tEnd, 3.0 * sim.macroDt());
+    auto timeRun = [&](Simulation& s) {
+      const auto t0 = std::chrono::steady_clock::now();
+      s.advanceTo(benchTEnd);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    // Min-of-N with alternating reference/batched reps: single-run wall
+    // times on a shared machine swing by several percent, which is the
+    // same order as the effect being measured.
+    int reps = 3;
+    if (const char* s = std::getenv("TSG_BENCH_REPS")) {
+      reps = std::max(1, std::atoi(s));
+    }
+    std::printf("timing kernel pipelines to t = %.2f s (%d alternating "
+                "reps, min taken)...\n",
+                benchTEnd, reps);
+    double refSeconds = 0, batSeconds = 0;
+    std::unique_ptr<Simulation> batSim;
+    for (int r = 0; r < reps; ++r) {
+      auto refSim = buildTimed(KernelPath::kReference);
+      const double tr = timeRun(*refSim);
+      refSim.reset();
+      batSim = buildTimed(KernelPath::kBatched);
+      batSim->enablePerfMonitor();
+      const double tb = timeRun(*batSim);
+      std::printf("  rep %d: reference %.2fs, batched %.2fs\n", r + 1, tr, tb);
+      refSeconds = (r == 0) ? tr : std::min(refSeconds, tr);
+      batSeconds = (r == 0) ? tb : std::min(batSeconds, tb);
+      if (r + 1 < reps) {
+        batSim.reset();
+      }
+    }
+    const double speedup = refSeconds / batSeconds;
+    PerfReportMeta meta = batSim->perfReportMeta("megathrust");
+    meta.extra["speedup_vs_reference"] = speedup;
+    meta.extra["reference_seconds"] = refSeconds;
+    meta.extra["batched_seconds"] = batSeconds;
+    writePerfReport("BENCH_kernels.json", *batSim->perfMonitor(), meta);
+    const PhaseStats predictor = batSim->perfMonitor()->total(Phase::kPredictor);
+    const PhaseStats corrector = batSim->perfMonitor()->total(Phase::kCorrector);
+    std::printf("kernel speedup (batched vs reference): %.2fx "
+                "(%.2fs -> %.2fs); predictor %.1f GFLOP/s, corrector %.1f "
+                "GFLOP/s -> BENCH_kernels.json\n",
+                speedup, refSeconds, batSeconds,
+                predictor.seconds > 0 ? predictor.flops / predictor.seconds / 1e9
+                                      : 0.0,
+                corrector.seconds > 0 ? corrector.flops / corrector.seconds / 1e9
+                                      : 0.0);
+  }
 
   // ---- (b) earthquake-only run + one-way linked SWE ---------------------
   MegathrustParams dryParams = params;

@@ -5,6 +5,7 @@
 
 #include "common/flops.hpp"
 #include "common/matrix.hpp"
+#include "kernels/batched_kernels.hpp"
 
 namespace tsg {
 
@@ -99,20 +100,8 @@ void surfaceKernel(const ReferenceMatrices& rm, const Matrix& faceMatrix,
 
 void surfaceKernelPointwise(const ReferenceMatrices& rm, const Matrix& testTW,
                             real scale, const real* fluxQP, real* dofs) {
-  // dofs -= scale * testTW (nb x nq) * fluxQP (nq x 9): fold sign and
-  // scale into a temporary copy of fluxQP.
-  const int n = rm.nq * kNumQuantities;
-  real neg[kNumQuantities * 128];
-  real* buf = neg;
-  std::vector<real> heap;
-  if (n > static_cast<int>(sizeof(neg) / sizeof(real))) {
-    heap.resize(n);
-    buf = heap.data();
-  }
-  for (int i = 0; i < n; ++i) {
-    buf[i] = -scale * fluxQP[i];
-  }
-  gemmAccRaw(rm.nb, kNumQuantities, rm.nq, testTW.data(), buf, dofs);
+  surfaceKernelPointwiseStrided(rm, testTW, scale, fluxQP, dofs,
+                                kNumQuantities);
 }
 
 std::uint64_t aderPredictorFlops(const ReferenceMatrices& rm) {

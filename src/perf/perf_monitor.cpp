@@ -1,0 +1,263 @@
+#include "perf/perf_monitor.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/flops.hpp"
+#include "io/atomic_file.hpp"
+
+namespace tsg {
+
+namespace {
+
+double nowSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Locale-independent shortest-roundtrip double formatting for JSON.
+std::string jsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // JSON has no inf/nan: clamp to null-ish sentinel 0 (not expected here).
+  if (std::strstr(buf, "inf") || std::strstr(buf, "nan")) {
+    return "0";
+  }
+  return buf;
+}
+
+std::string jsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+const char* phaseName(Phase p) {
+  switch (p) {
+    case Phase::kPredictor:
+      return "predictor";
+    case Phase::kRuptureFlux:
+      return "rupture_flux";
+    case Phase::kCorrector:
+      return "corrector";
+  }
+  return "unknown";
+}
+
+PerfMonitor::PerfMonitor() : epoch_(nowSeconds()) {}
+
+void PerfMonitor::ensureCluster(int phase, int cluster) {
+  if (static_cast<int>(stats_[phase].size()) <= cluster) {
+    stats_[phase].resize(cluster + 1);
+  }
+}
+
+void PerfMonitor::beginPhase(Phase p, int cluster) {
+  (void)p;
+  (void)cluster;
+  flops0_ = totalFlops();
+  t0_ = nowSeconds();
+}
+
+void PerfMonitor::endPhase(Phase p, int cluster, std::uint64_t elements,
+                           std::uint64_t bytesEstimate) {
+  const double t1 = nowSeconds();
+  const std::uint64_t flops1 = totalFlops();
+  const int pi = static_cast<int>(p);
+  ensureCluster(pi, cluster);
+  PhaseStats& s = stats_[pi][cluster];
+  s.seconds += t1 - t0_;
+  s.invocations += 1;
+  s.flops += flops1 - flops0_;
+  s.elementUpdates += elements;
+  s.bytesEstimate += bytesEstimate;
+  if (traceEnabled_ && !traceSaturated_) {
+    if (trace_.size() >= maxTraceEvents_) {
+      traceSaturated_ = true;  // keep the head; do not grow unboundedly
+    } else {
+      trace_.push_back({static_cast<std::int8_t>(pi), cluster,
+                        (t0_ - epoch_) * 1e6, (t1 - t0_) * 1e6});
+    }
+  }
+}
+
+void PerfMonitor::enableTrace(std::size_t maxEvents) {
+  traceEnabled_ = true;
+  maxTraceEvents_ = maxEvents;
+  trace_.reserve(std::min<std::size_t>(maxEvents, 1u << 16));
+}
+
+PhaseStats PerfMonitor::total(Phase p) const {
+  PhaseStats out;
+  for (const PhaseStats& s : stats_[static_cast<int>(p)]) {
+    out += s;
+  }
+  return out;
+}
+
+double PerfMonitor::totalSeconds() const {
+  double t = 0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    t += total(static_cast<Phase>(p)).seconds;
+  }
+  return t;
+}
+
+void PerfMonitor::reset() {
+  for (auto& perPhase : stats_) {
+    perPhase.clear();
+  }
+  trace_.clear();
+  traceSaturated_ = false;
+}
+
+void PerfMonitor::writeChromeTrace(const std::string& path) const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : trace_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
+                  phaseName(static_cast<Phase>(e.phase)), e.beginUs, e.durUs,
+                  e.cluster);
+    out += buf;
+  }
+  out += "]}";
+  atomicWriteFile(path, out);
+}
+
+namespace {
+
+void appendStats(std::string& out, const PhaseStats& s) {
+  char buf[320];
+  const double gflops = s.seconds > 0 ? s.flops / s.seconds / 1e9 : 0.0;
+  const double elemPerS =
+      s.seconds > 0 ? s.elementUpdates / s.seconds : 0.0;
+  const double flopPerByte =
+      s.bytesEstimate > 0 ? static_cast<double>(s.flops) / s.bytesEstimate
+                          : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "\"seconds\":%s,\"invocations\":%" PRIu64
+                ",\"flops\":%" PRIu64 ",\"element_updates\":%" PRIu64
+                ",\"bytes_estimate\":%" PRIu64
+                ",\"gflops\":%s,\"elements_per_second\":%s,"
+                "\"flop_per_byte\":%s",
+                jsonNumber(s.seconds).c_str(), s.invocations, s.flops,
+                s.elementUpdates, s.bytesEstimate, jsonNumber(gflops).c_str(),
+                jsonNumber(elemPerS).c_str(), jsonNumber(flopPerByte).c_str());
+  out += buf;
+}
+
+}  // namespace
+
+std::string perfReportJson(const PerfMonitor& m, const PerfReportMeta& meta) {
+  std::string out = "{\n";
+  char buf[256];
+  out += "  \"schema\": \"tsg-perf-1\",\n";
+  out += "  \"scenario\": " + jsonString(meta.scenario) + ",\n";
+  out += "  \"kernel_path\": " + jsonString(meta.kernelPath) + ",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"degree\": %d,\n  \"threads\": %d,\n"
+                "  \"batch_size\": %d,\n  \"elements\": %lld,\n",
+                meta.degree, meta.threads, meta.batchSize,
+                static_cast<long long>(meta.elements));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"element_updates\": %" PRIu64
+                ",\n  \"simulated_seconds\": %s,\n",
+                meta.elementUpdates,
+                jsonNumber(meta.simulatedSeconds).c_str());
+  out += buf;
+
+  PhaseStats grand;
+  for (int p = 0; p < kNumPhases; ++p) {
+    grand += m.total(static_cast<Phase>(p));
+  }
+  out += "  \"total\": {";
+  appendStats(out, grand);
+  out += "},\n";
+
+  out += "  \"phases\": [\n";
+  for (int p = 0; p < kNumPhases; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    out += "    {\"phase\": ";
+    out += jsonString(phaseName(phase));
+    out += ", ";
+    appendStats(out, m.total(phase));
+    out += ", \"per_cluster\": [";
+    const auto& perCluster = m.perCluster(phase);
+    for (std::size_t c = 0; c < perCluster.size(); ++c) {
+      if (c) {
+        out += ',';
+      }
+      std::snprintf(buf, sizeof buf, "{\"cluster\":%d,",
+                    static_cast<int>(c));
+      out += buf;
+      appendStats(out, perCluster[c]);
+      out += '}';
+    }
+    out += "]}";
+    out += (p + 1 < kNumPhases) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  std::snprintf(buf, sizeof buf, "  \"lts\": {\"rate\": %d, \"clusters\": [",
+                meta.ltsRate);
+  out += buf;
+  for (std::size_t c = 0; c < meta.clusters.size(); ++c) {
+    if (c) {
+      out += ',';
+    }
+    std::snprintf(buf, sizeof buf,
+                  "{\"cluster\":%d,\"elements\":%lld,\"dt\":%s}",
+                  meta.clusters[c].cluster,
+                  static_cast<long long>(meta.clusters[c].elements),
+                  jsonNumber(meta.clusters[c].dt).c_str());
+    out += buf;
+  }
+  out += "]}";
+
+  for (const auto& [key, value] : meta.extra) {
+    out += ",\n  " + jsonString(key) + ": " + jsonNumber(value);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void writePerfReport(const std::string& path, const PerfMonitor& m,
+                     const PerfReportMeta& meta) {
+  atomicWriteFile(path, perfReportJson(m, meta));
+}
+
+}  // namespace tsg

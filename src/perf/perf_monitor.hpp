@@ -1,0 +1,132 @@
+#pragma once
+
+// Per-phase x per-cluster performance observability for the stepping
+// pipeline (paper Secs. 5.1/6.2 report sustained GFLOPS and the LTS
+// update reduction; this module produces the machine-readable evidence).
+//
+// The stepping loop is bulk-synchronous: each phase (predictor, rupture
+// fluxes, corrector) of each cluster is one parallel region entered and
+// left by the orchestrating thread.  PerfMonitor::beginPhase/endPhase
+// bracket those regions -- two steady_clock reads plus one FLOP-counter
+// aggregation per region, negligible against even the smallest cluster's
+// kernel work.
+//
+// Outputs:
+//  * perfReportJson(): the BENCH_kernels.json schema ("tsg-perf-1") with
+//    the phase breakdown (wall seconds, GFLOP/s, element updates/s,
+//    estimated FLOP/byte), the per-cluster split, and the LTS histogram;
+//  * writeChromeTrace(): an about://tracing / Perfetto-compatible event
+//    file of every phase region (bounded buffer, oldest-first).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+enum class Phase : int {
+  kPredictor = 0,
+  kRuptureFlux = 1,
+  kCorrector = 2,
+};
+constexpr int kNumPhases = 3;
+
+const char* phaseName(Phase p);
+
+struct PhaseStats {
+  double seconds = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t elementUpdates = 0;
+  std::uint64_t bytesEstimate = 0;  // analytic main-memory traffic model
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    seconds += o.seconds;
+    invocations += o.invocations;
+    flops += o.flops;
+    elementUpdates += o.elementUpdates;
+    bytesEstimate += o.bytesEstimate;
+    return *this;
+  }
+};
+
+class PerfMonitor {
+ public:
+  PerfMonitor();
+
+  /// Bracket one phase region.  Must be called from the orchestrating
+  /// thread (outside parallel regions); regions do not nest.
+  void beginPhase(Phase p, int cluster);
+  void endPhase(Phase p, int cluster, std::uint64_t elements,
+                std::uint64_t bytesEstimate);
+
+  /// Keep a bounded chrome-trace event buffer (default off).
+  void enableTrace(std::size_t maxEvents = 1u << 20);
+  bool traceEnabled() const { return traceEnabled_; }
+
+  PhaseStats total(Phase p) const;
+  const std::vector<PhaseStats>& perCluster(Phase p) const {
+    return stats_[static_cast<int>(p)];
+  }
+  /// Sum of all phase wall times (kernel time, excludes I/O etc.).
+  double totalSeconds() const;
+
+  void reset();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}) written atomically.
+  void writeChromeTrace(const std::string& path) const;
+
+ private:
+  struct TraceEvent {
+    std::int8_t phase;
+    int cluster;
+    double beginUs, durUs;
+  };
+
+  std::vector<PhaseStats> stats_[kNumPhases];  // indexed by cluster
+  bool traceEnabled_ = false;
+  std::size_t maxTraceEvents_ = 0;
+  std::vector<TraceEvent> trace_;
+  bool traceSaturated_ = false;
+
+  // In-flight region (phases are serial; no nesting).
+  double t0_ = 0;
+  std::uint64_t flops0_ = 0;
+  double epoch_ = 0;  // construction time, trace timestamp origin
+
+  void ensureCluster(int phase, int cluster);
+};
+
+/// Static run metadata for the JSON report.
+struct PerfClusterInfo {
+  int cluster = 0;
+  std::int64_t elements = 0;
+  real dt = 0;
+};
+
+struct PerfReportMeta {
+  std::string scenario;
+  std::string kernelPath;  // "batched" | "reference"
+  int degree = 0;
+  int threads = 0;
+  int batchSize = 0;
+  std::int64_t elements = 0;
+  int ltsRate = 1;
+  std::uint64_t elementUpdates = 0;
+  double simulatedSeconds = 0;
+  std::vector<PerfClusterInfo> clusters;  // the LTS cluster histogram
+  /// Extra top-level numeric fields (e.g. "speedup_vs_reference").
+  std::map<std::string, double> extra;
+};
+
+/// The BENCH_kernels.json document (schema "tsg-perf-1").
+std::string perfReportJson(const PerfMonitor& m, const PerfReportMeta& meta);
+
+/// Atomic write of perfReportJson.
+void writePerfReport(const std::string& path, const PerfMonitor& m,
+                     const PerfReportMeta& meta);
+
+}  // namespace tsg

@@ -12,6 +12,7 @@
 #include "basis/dubiner.hpp"
 #include "checkpoint/checkpoint.hpp"
 #include "geometry/reference_tet.hpp"
+#include "kernels/batched_kernels.hpp"
 #include "kernels/element_kernels.hpp"
 #include "physics/jacobians.hpp"
 #include "physics/riemann.hpp"
@@ -29,6 +30,28 @@ std::array<Vec3, 3> gradXi(const Mesh& mesh, int elem) {
   const Vec3 r1 = (1.0 / det) * cross(j[2], j[0]);
   const Vec3 r2 = (1.0 / det) * cross(j[0], j[1]);
   return {r0, r1, r2};
+}
+
+/// Parallel loop over [0, n) with the schedule as an explicit per-loop
+/// choice: deterministic runs pin a static schedule, everything else uses
+/// dynamic work stealing.  Previously these loops said schedule(runtime)
+/// and read whatever omp_set_schedule state happened to be ambient, so a
+/// library or embedder calling omp_set_schedule could silently perturb
+/// deterministic mode; now the schedule can only come from `deterministic`.
+template <class F>
+void ompFor(std::size_t n, bool deterministic, int chunk, F&& f) {
+  const std::ptrdiff_t sn = static_cast<std::ptrdiff_t>(n);
+  if (deterministic) {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < sn; ++i) {
+      f(static_cast<std::size_t>(i));
+    }
+  } else {
+#pragma omp parallel for schedule(dynamic, chunk)
+    for (std::ptrdiff_t i = 0; i < sn; ++i) {
+      f(static_cast<std::size_t>(i));
+    }
+  }
 }
 
 }  // namespace
@@ -79,6 +102,17 @@ real* Simulation::threadScratch() {
   static thread_local std::vector<real> buf;
   if (buf.size() < scratchSize_) {
     buf.resize(scratchSize_);
+  }
+  return buf.data();
+}
+
+real* Simulation::threadBatchScratch() {
+  // Same thread-local discipline as threadScratch: valid for any thread
+  // that enters a batched kernel, every tile region it reads is fully
+  // initialised by the kernels first.
+  static thread_local std::vector<real> buf;
+  if (buf.size() < batchScratchSize_) {
+    buf.resize(batchScratchSize_);
   }
   return buf.data();
 }
@@ -204,6 +238,72 @@ void Simulation::setupFaces() {
   }
 }
 
+void Simulation::ensureBatchLayout() {
+  if (batchLayoutReady_) {
+    return;
+  }
+  // Built lazily at the first batched advance: rupture faceAux_ indices
+  // only exist once setupFault() ran.
+  batchLayout_ =
+      ClusterBatchLayout(clusters_, rm_.nb, cfg_.degree, cfg_.batchSize);
+  const std::size_t nOrdered = batchLayout_.elements().size();
+  const int stride = kNumQuantities * kNumQuantities;
+  starTB_.assign(nOrdered * 3 * stride, 0.0);
+  negStarTB_.assign(nOrdered * 3 * stride, 0.0);
+  negFluxMinusTB_.assign(nOrdered * 4 * stride, 0.0);
+  negFluxPlusTB_.assign(nOrdered * 4 * stride, 0.0);
+  batchFaces_.assign(nOrdered * 4, {});
+  stackNeeded_.assign(mesh_.numElements(), 0);
+  for (std::size_t i = 0; i < nOrdered; ++i) {
+    const int e = batchLayout_.elements()[i];
+    std::memcpy(starTB_.data() + i * 3 * stride,
+                starT_.data() + static_cast<std::size_t>(e) * 3 * stride,
+                sizeof(real) * 3 * stride);
+    for (int j = 0; j < 3 * stride; ++j) {
+      negStarTB_[i * 3 * stride + j] = -starTB_[i * 3 * stride + j];
+    }
+    for (int f = 0; f < 4; ++f) {
+      const std::size_t src = static_cast<std::size_t>(e) * 4 + f;
+      const std::size_t dst = i * 4 + f;
+      // The corrector only ever uses the flux-solver matrices negated
+      // (reference: multiply, then negate the product); storing them
+      // pre-negated folds that pass into the GEMM operand -- each product
+      // term flips sign exactly, so results stay bitwise-identical.
+      for (int j = 0; j < stride; ++j) {
+        negFluxMinusTB_[dst * stride + j] = -fluxMinusT_[src * stride + j];
+        negFluxPlusTB_[dst * stride + j] = -fluxPlusT_[src * stride + j];
+      }
+      BatchFaceInfo& info = batchFaces_[dst];
+      const FaceInfo& mi = mesh_.faces[e][f];
+      info.kind = faceKind_[src];
+      info.neighbor = mi.neighbor;
+      info.neighborFace = static_cast<std::uint8_t>(mi.neighborFace);
+      info.permutation = static_cast<std::uint8_t>(mi.permutation);
+      info.aux = faceAux_[src];
+      info.seafloor = seafloorIndexOfFace_[src];
+      info.scale = faceScale_[src];
+      if (mi.neighbor >= 0) {
+        const int dc = clusters_.cluster[mi.neighbor] - clusters_.cluster[e];
+        info.relation = dc == 0 ? 0 : (dc > 0 ? 1 : 2);
+      }
+      // Flag stacks read outside their own predictor: gravity and rupture
+      // faces read this element's stack; a coarser neighbour's stack is
+      // Taylor-integrated over our sub-interval in the corrector.
+      if (info.kind == FaceKind::kGravity ||
+          info.kind == FaceKind::kRuptureMinus ||
+          info.kind == FaceKind::kRupturePlus) {
+        stackNeeded_[e] = 1;
+      } else if (info.kind == FaceKind::kRegular && mi.neighbor >= 0 &&
+                 info.relation == 1) {
+        stackNeeded_[mi.neighbor] = 1;
+      }
+    }
+  }
+  batchScratchSize_ = static_cast<std::size_t>(cfg_.degree + 3) * rm_.nb *
+                      kNumQuantities * batchLayout_.batchSize();
+  batchLayoutReady_ = true;
+}
+
 void Simulation::setInitialCondition(const InitialCondition& f) {
   const int n = mesh_.numElements();
   const int nvq = static_cast<int>(rm_.volQuadXi.size());
@@ -244,6 +344,12 @@ void Simulation::setupFault(const FaultInitFn& init) {
   ruptureFlux_.assign(static_cast<std::size_t>(fault_->numFaces()) * 2 *
                           rm_.nq * kNumQuantities,
                       0.0);
+  faultFacesOfCluster_.assign(clusters_.numClusters, 0);
+  for (int i = 0; i < fault_->numFaces(); ++i) {
+    ++faultFacesOfCluster_[clusters_.cluster[fault_->faceAt(i).minusElem]];
+  }
+  // Rupture faceAux_ assignments change the batch-ordered face metadata.
+  batchLayoutReady_ = false;
 }
 
 int Simulation::addReceiver(const std::string& name, const Vec3& x) {
@@ -395,26 +501,273 @@ void Simulation::corrector(int elem, std::int64_t tick) {
   }
 }
 
+void Simulation::predictorBatch(const ElementBatch& batch, bool reset) {
+  const int width = batch.width;
+  const int ld = kNumQuantities * batchLayout_.batchSize();
+  const int* elems = batchLayout_.elements().data() + batch.begin;
+  const std::size_t tileSize = static_cast<std::size_t>(rm_.nb) * ld;
+  real* stackTiles = threadBatchScratch();
+  real* scratchTile = stackTiles + (cfg_.degree + 1) * tileSize;
+  real* tIntTile = scratchTile + tileSize;
+  const real* negStarTB =
+      negStarTB_.data() +
+      static_cast<std::size_t>(batch.begin) * 3 * kNumQuantities *
+          kNumQuantities;
+
+  gatherTile(dofs_.data(), elems, width, rm_.nb, nbq_, ld, stackTiles);
+  batchedAderPredictor(rm_, negStarTB, stackTiles, scratchTile, width, ld);
+  const real dt =
+      clusters_.dtMin * static_cast<real>(clusters_.spanOf(batch.cluster));
+  batchedTaylorIntegrate(rm_, stackTiles, 0.0, dt, tIntTile, width, ld);
+
+  // Scatter the time integral for every lane, but the derivative stack
+  // only for elements whose stack is read outside this batch (gravity and
+  // rupture faces, coarser LTS neighbours) -- for all other elements the
+  // stack lives and dies in the tiles.
+  for (int lane = 0; lane < width; ++lane) {
+    const int e = elems[lane];
+    if (!stackNeeded_[e]) {
+      continue;
+    }
+    for (int k = 0; k <= cfg_.degree; ++k) {
+      const real* tile =
+          stackTiles + static_cast<std::size_t>(k) * tileSize +
+          static_cast<std::size_t>(lane) * kNumQuantities;
+      real* dst = stackOf(e) + static_cast<std::size_t>(k) * nbq_;
+      for (int l = 0; l < rm_.nb; ++l) {
+        std::memcpy(dst + static_cast<std::size_t>(l) * kNumQuantities,
+                    tile + static_cast<std::size_t>(l) * ld,
+                    sizeof(real) * kNumQuantities);
+      }
+    }
+  }
+  scatterTile(tIntTile, elems, width, rm_.nb, nbq_, ld, tInt_.data());
+
+  for (int lane = 0; lane < width; ++lane) {
+    const int e = elems[lane];
+    if (!hasCoarserNeighbor_[e]) {
+      continue;
+    }
+    real* buf = bufferOf(e);
+    const real* ti = tIntOf(e);
+    if (reset) {
+      std::memcpy(buf, ti, sizeof(real) * nbq_);
+    } else {
+      for (int i = 0; i < nbq_; ++i) {
+        buf[i] += ti[i];
+      }
+    }
+  }
+}
+
+void Simulation::correctorBatch(const ElementBatch& batch, std::int64_t tick) {
+  const int c = batch.cluster;
+  const std::int64_t span = clusters_.spanOf(c);
+  const real dt = clusters_.dtMin * static_cast<real>(span);
+  const int width = batch.width;
+  const int ld = kNumQuantities * batchLayout_.batchSize();
+  const int* elems = batchLayout_.elements().data() + batch.begin;
+  const std::size_t tileSize = static_cast<std::size_t>(rm_.nb) * ld;
+  const int stride = kNumQuantities * kNumQuantities;
+
+  real* dofTile = threadBatchScratch();
+  real* tIntTile = dofTile + tileSize;
+  real* faceScratch = tIntTile + tileSize;
+  // Fourth scratch tile (degree >= 1 guarantees it): per-lane contiguous
+  // nb x 9 slots holding coarser-neighbour sub-interval integrals so the
+  // neighbour-flux stage can run as one fused pass over the batch.
+  real* coarseInt = faceScratch + tileSize;
+  static thread_local std::vector<const real*> negFluxPtrs;
+  static thread_local std::vector<NeighborFluxLane> nbrLanes;
+  negFluxPtrs.resize(batchLayout_.batchSize());
+  nbrLanes.resize(batchLayout_.batchSize());
+  // Per-element scratch (neighbour integrals, gravity/rupture traces) --
+  // same regions as the reference corrector.
+  real* scratch = threadScratch();
+  real* scratch2 = scratch + nbq_;
+  real* scratchBig = scratch2 + nbq_;
+  real* fluxQp = scratchBig + 2 * static_cast<std::size_t>(cfg_.degree + 1) *
+                                 rm_.nq * kNumQuantities;
+
+  gatherTile(dofs_.data(), elems, width, rm_.nb, nbq_, ld, dofTile);
+  gatherTile(tInt_.data(), elems, width, rm_.nb, nbq_, ld, tIntTile);
+
+  const real* starTB = starTB_.data() + static_cast<std::size_t>(batch.begin) *
+                                            3 * stride;
+  batchedVolumeKernel(rm_, starTB, tIntTile, dofTile, faceScratch, width, ld);
+
+  for (int f = 0; f < 4; ++f) {
+    // (a) Per-lane pre-pass: stage the flux-solver products of regular /
+    // folded-boundary faces into the face scratch tile; apply pointwise
+    // gravity and rupture fluxes directly (their slot in each element's
+    // accumulation sequence is exactly here, matching the reference).
+    zeroTile(faceScratch, rm_.nb, kNumQuantities * width, ld);
+    for (int lane = 0; lane < width; ++lane) {
+      const BatchFaceInfo& info =
+          batchFaces_[(static_cast<std::size_t>(batch.begin) + lane) * 4 + f];
+      real* laneDofs = dofTile + static_cast<std::size_t>(lane) * kNumQuantities;
+      negFluxPtrs[lane] = nullptr;
+      switch (info.kind) {
+        case FaceKind::kRegular:
+        case FaceKind::kBoundaryFolded: {
+          // Pre-negated flux-solver matrix: the reference's negate-the-
+          // product pass is folded into the operand (bitwise-identical).
+          negFluxPtrs[lane] =
+              negFluxMinusTB_.data() +
+              ((static_cast<std::size_t>(batch.begin) + lane) * 4 + f) * stride;
+          break;
+        }
+        case FaceKind::kGravity:
+          gravity_->computeFlux(info.aux, rm_, stackOf(elems[lane]), dt,
+                                fluxQp, scratchBig);
+          surfaceKernelPointwiseStrided(rm_, rm_.faceEvalTW[f], info.scale,
+                                        fluxQp, laneDofs, ld);
+          break;
+        case FaceKind::kRuptureMinus: {
+          const real* staged = ruptureFlux_.data() +
+                               static_cast<std::size_t>(info.aux) * 2 *
+                                   rm_.nq * kNumQuantities;
+          surfaceKernelPointwiseStrided(rm_, rm_.faceEvalTW[f], info.scale,
+                                        staged, laneDofs, ld);
+          break;
+        }
+        case FaceKind::kRupturePlus: {
+          const FaultFace& ff = fault_->faceAt(info.aux);
+          const real* staged =
+              ruptureFlux_.data() +
+              (static_cast<std::size_t>(info.aux) * 2 + 1) * rm_.nq *
+                  kNumQuantities;
+          surfaceKernelPointwiseStrided(
+              rm_,
+              rm_.faceEvalNeighborTW[ff.minusFace][ff.plusFace][ff.permutation],
+              info.scale, staged, laneDofs, ld);
+          break;
+        }
+      }
+
+      // Seafloor uplift recorder (identical to the reference corrector;
+      // reads only this element's time integral).
+      if (info.seafloor >= 0) {
+        SeafloorFace& rec = seafloorFaces_[info.seafloor];
+        const real* ti = tIntOf(elems[lane]);
+        for (int i = 0; i < rm_.nq; ++i) {
+          real dz = 0;
+          for (int l = 0; l < rm_.nb; ++l) {
+            dz += rm_.faceEval[f](i, l) * ti[l * kNumQuantities + kVz];
+          }
+          rec.uplift[i] += dz;
+        }
+      }
+    }
+    batchedLocalFluxStage(rm_.nb, width, ld, tIntTile, negFluxPtrs.data(),
+                          faceScratch);
+
+    // (b) One blocked GEMM per run of consecutive regular/boundary lanes:
+    // dofs -= fluxLocal[f] * staged flux products.
+    int lane = 0;
+    while (lane < width) {
+      const auto kindOf = [&](int l) {
+        return batchFaces_[(static_cast<std::size_t>(batch.begin) + l) * 4 + f]
+            .kind;
+      };
+      if (kindOf(lane) != FaceKind::kRegular &&
+          kindOf(lane) != FaceKind::kBoundaryFolded) {
+        ++lane;
+        continue;
+      }
+      int end = lane + 1;
+      while (end < width && (kindOf(end) == FaceKind::kRegular ||
+                             kindOf(end) == FaceKind::kBoundaryFolded)) {
+        ++end;
+      }
+      gemmAccStrided(rm_.nb, kNumQuantities * (end - lane), rm_.nb,
+                     rm_.fluxLocal[f].data(), rm_.nb,
+                     faceScratch + static_cast<std::size_t>(lane) *
+                                       kNumQuantities,
+                     ld,
+                     dofTile + static_cast<std::size_t>(lane) * kNumQuantities,
+                     ld);
+      lane = end;
+    }
+
+    // (c) Neighbour contributions of regular faces: resolve each lane's
+    // time-integral source (integrating coarser neighbours into this
+    // lane's contiguous coarseInt slot), then run the whole batch through
+    // one fused per-lane GEMM pass.
+    for (int lane2 = 0; lane2 < width; ++lane2) {
+      const BatchFaceInfo& info =
+          batchFaces_[(static_cast<std::size_t>(batch.begin) + lane2) * 4 + f];
+      NeighborFluxLane& ln = nbrLanes[lane2];
+      if (info.kind != FaceKind::kRegular) {
+        ln.src = nullptr;
+        continue;
+      }
+      if (info.relation == 0) {
+        ln.src = tIntOf(info.neighbor);
+      } else if (info.relation == 1) {
+        // Coarser neighbour: integrate its Taylor expansion over our
+        // sub-interval of its (rate times as long) timestep.
+        const std::int64_t rel = (tick - span) % (span * clusters_.rate);
+        const real off = clusters_.dtMin * static_cast<real>(rel);
+        real* slot = coarseInt + static_cast<std::size_t>(lane2) * nbq_;
+        taylorIntegrate(rm_, stackOf(info.neighbor), off, off + dt, slot);
+        ln.src = slot;
+      } else {
+        // Finer neighbour: its buffer accumulated both sub-intervals.
+        ln.src =
+            buffer_.data() + static_cast<std::size_t>(info.neighbor) * nbq_;
+      }
+      ln.negFluxPlusT =
+          negFluxPlusTB_.data() +
+          ((static_cast<std::size_t>(batch.begin) + lane2) * 4 + f) * stride;
+      ln.fluxNeighbor =
+          rm_.fluxNeighbor[f][info.neighborFace][info.permutation].data();
+    }
+    batchedNeighborFluxStage(rm_.nb, width, ld, nbrLanes.data(), scratch,
+                             dofTile);
+  }
+
+  scatterTile(dofTile, elems, width, rm_.nb, nbq_, ld, dofs_.data());
+
+  // Receivers hosted by elements of this batch: sample at the interval end.
+  for (int lane = 0; lane < width; ++lane) {
+    const int e = elems[lane];
+    const real* q = dofsOf(e);
+    for (int rid : receiversOfElement_[e]) {
+      Receiver& r = receivers_[rid];
+      std::array<real, kNumQuantities> val{};
+      for (int l = 0; l < rm_.nb; ++l) {
+        for (int p = 0; p < kNumQuantities; ++p) {
+          val[p] += r.phi[l] * q[l * kNumQuantities + p];
+        }
+      }
+      r.times.push_back(clusters_.dtMin * static_cast<real>(tick));
+      r.samples.push_back(val);
+    }
+  }
+}
+
 void Simulation::computeRuptureFluxes(int clusterId, real dt,
                                       real stepStartTime) {
   if (!fault_) {
     return;
   }
   const int nf = fault_->numFaces();
-#pragma omp parallel for schedule(runtime)
-  for (int i = 0; i < nf; ++i) {
-    const FaultFace& ff = fault_->faceAt(i);
+  ompFor(static_cast<std::size_t>(nf), cfg_.deterministic, 32,
+         [&](std::size_t i) {
+    const FaultFace& ff = fault_->faceAt(static_cast<int>(i));
     if (clusters_.cluster[ff.minusElem] != clusterId) {
-      continue;
+      return;
     }
     real* scratch = threadScratch();
     real* traces = scratch + 2 * nbq_;
     real* fm = ruptureFlux_.data() +
                static_cast<std::size_t>(i) * 2 * rm_.nq * kNumQuantities;
     real* fp = fm + rm_.nq * kNumQuantities;
-    fault_->computeFluxes(i, rm_, stackOf(ff.minusElem), stackOf(ff.plusElem),
-                          dt, stepStartTime, fm, fp, traces);
-  }
+    fault_->computeFluxes(static_cast<int>(i), rm_, stackOf(ff.minusElem),
+                          stackOf(ff.plusElem), dt, stepStartTime, fm, fp,
+                          traces);
+  });
 }
 
 void Simulation::advanceTo(real tEnd) {
@@ -428,12 +781,9 @@ void Simulation::advanceTo(real tEnd) {
       }
     }
   }
-  // Deterministic mode pins the (schedule(runtime)) stepping loops to a
-  // static schedule; the default matches the old dynamic work stealing.
-  if (cfg_.deterministic) {
-    omp_set_schedule(omp_sched_static, 0);
-  } else {
-    omp_set_schedule(omp_sched_dynamic, 32);
+  const bool batched = cfg_.kernelPath == KernelPath::kBatched;
+  if (batched) {
+    ensureBatchLayout();
   }
   const std::int64_t ticksPerMacro = clusters_.ticksPerMacro();
   const real eps = 1e-12 * std::max(real(1), tEnd);
@@ -449,21 +799,36 @@ void Simulation::advanceTo(real tEnd) {
         // The coarser neighbour consumes the buffer once per `rate` of our
         // steps; restart the accumulation at its step boundaries.
         const bool reset = tick_ % (span * clusters_.rate) == 0;
-#pragma omp parallel for schedule(runtime)
-        for (std::size_t k = 0; k < elems.size(); ++k) {
-          const int e = elems[k];
-          predictor(e);
-          if (hasCoarserNeighbor_[e]) {
-            real* buf = bufferOf(e);
-            const real* ti = tIntOf(e);
-            if (reset) {
-              std::memcpy(buf, ti, sizeof(real) * nbq_);
-            } else {
-              for (int i = 0; i < nbq_; ++i) {
-                buf[i] += ti[i];
+        if (perf_) {
+          perf_->beginPhase(Phase::kPredictor, c);
+        }
+        if (batched) {
+          const int b0 = batchLayout_.firstBatchOfCluster(c);
+          const int b1 = batchLayout_.endBatchOfCluster(c);
+          ompFor(static_cast<std::size_t>(b1 - b0), cfg_.deterministic, 1,
+                 [&](std::size_t k) {
+            predictorBatch(batchLayout_.batches()[b0 + k], reset);
+          });
+        } else {
+          ompFor(elems.size(), cfg_.deterministic, 32, [&](std::size_t k) {
+            const int e = elems[k];
+            predictor(e);
+            if (hasCoarserNeighbor_[e]) {
+              real* buf = bufferOf(e);
+              const real* ti = tIntOf(e);
+              if (reset) {
+                std::memcpy(buf, ti, sizeof(real) * nbq_);
+              } else {
+                for (int i = 0; i < nbq_; ++i) {
+                  buf[i] += ti[i];
+                }
               }
             }
-          }
+          });
+        }
+        if (perf_) {
+          perf_->endPhase(Phase::kPredictor, c, elems.size(),
+                          elems.size() * predictorBytesPerElement());
         }
       }
       ++tick_;
@@ -474,12 +839,34 @@ void Simulation::advanceTo(real tEnd) {
           continue;
         }
         const real dt = clusters_.dtMin * static_cast<real>(span);
+        const std::uint64_t faultFaces =
+            fault_ ? static_cast<std::uint64_t>(faultFacesOfCluster_[c]) : 0;
+        if (perf_) {
+          perf_->beginPhase(Phase::kRuptureFlux, c);
+        }
         computeRuptureFluxes(c, dt,
                              clusters_.dtMin * static_cast<real>(tick_ - span));
+        if (perf_) {
+          perf_->endPhase(Phase::kRuptureFlux, c, faultFaces,
+                          faultFaces * ruptureBytesPerFace());
+          perf_->beginPhase(Phase::kCorrector, c);
+        }
         const auto& elems = clusters_.elementsOfCluster[c];
-#pragma omp parallel for schedule(runtime)
-        for (std::size_t k = 0; k < elems.size(); ++k) {
-          corrector(elems[k], tick_);
+        if (batched) {
+          const int b0 = batchLayout_.firstBatchOfCluster(c);
+          const int b1 = batchLayout_.endBatchOfCluster(c);
+          ompFor(static_cast<std::size_t>(b1 - b0), cfg_.deterministic, 1,
+                 [&](std::size_t k) {
+            correctorBatch(batchLayout_.batches()[b0 + k], tick_);
+          });
+        } else {
+          ompFor(elems.size(), cfg_.deterministic, 32, [&](std::size_t k) {
+            corrector(elems[k], tick_);
+          });
+        }
+        if (perf_) {
+          perf_->endPhase(Phase::kCorrector, c, elems.size(),
+                          elems.size() * correctorBytesPerElement());
         }
         elementUpdates_ += elems.size();
       }
@@ -489,6 +876,66 @@ void Simulation::advanceTo(real tEnd) {
       cb(time_);
     }
   }
+}
+
+PerfMonitor& Simulation::enablePerfMonitor(bool withTrace) {
+  if (!perf_) {
+    perf_ = std::make_unique<PerfMonitor>();
+  }
+  if (withTrace) {
+    perf_->enableTrace();
+  }
+  return *perf_;
+}
+
+PerfReportMeta Simulation::perfReportMeta(const std::string& scenario) const {
+  PerfReportMeta meta;
+  meta.scenario = scenario;
+  meta.kernelPath =
+      cfg_.kernelPath == KernelPath::kBatched ? "batched" : "reference";
+  meta.degree = cfg_.degree;
+  meta.threads = omp_get_max_threads();
+  meta.batchSize = batchLayoutReady_ ? batchLayout_.batchSize()
+                                     : autoBatchSize(rm_.nb, cfg_.degree);
+  meta.elements = mesh_.numElements();
+  meta.ltsRate = clusters_.rate;
+  meta.elementUpdates = elementUpdates_;
+  meta.simulatedSeconds = time_;
+  for (int c = 0; c < clusters_.numClusters; ++c) {
+    PerfClusterInfo info;
+    info.cluster = c;
+    info.elements =
+        static_cast<std::int64_t>(clusters_.elementsOfCluster[c].size());
+    info.dt = clusters_.dtMin * static_cast<real>(clusters_.spanOf(c));
+    meta.clusters.push_back(info);
+  }
+  return meta;
+}
+
+// Analytic main-memory traffic models (streamed arrays only; reference
+// matrices and flux solvers are shared and presumed cache-resident).
+std::uint64_t Simulation::predictorBytesPerElement() const {
+  // Read dofs + starT, write derivative stack + time integral (+ buffer).
+  const std::uint64_t nbq = static_cast<std::uint64_t>(nbq_);
+  return sizeof(real) *
+         (nbq + 3ull * kNumQuantities * kNumQuantities +
+          nbq * (cfg_.degree + 1) + 2ull * nbq);
+}
+
+std::uint64_t Simulation::correctorBytesPerElement() const {
+  // Read tInt + starT + 8 flux solvers + 4 neighbour sources; r/w dofs.
+  const std::uint64_t nbq = static_cast<std::uint64_t>(nbq_);
+  return sizeof(real) *
+         (nbq + 11ull * kNumQuantities * kNumQuantities + 4ull * nbq +
+          2ull * nbq);
+}
+
+std::uint64_t Simulation::ruptureBytesPerFace() const {
+  // Read both derivative stacks, write both staged flux traces.
+  const std::uint64_t nbq = static_cast<std::uint64_t>(nbq_);
+  return sizeof(real) * (2ull * nbq * (cfg_.degree + 1) +
+                         2ull * static_cast<std::uint64_t>(rm_.nq) *
+                             kNumQuantities);
 }
 
 std::array<real, kNumQuantities> Simulation::evaluate(int elem,

@@ -22,13 +22,25 @@
 #include "geometry/mesh.hpp"
 #include "geometry/spatial_index.hpp"
 #include "gravity/gravity_surface.hpp"
+#include "kernels/batch_layout.hpp"
 #include "kernels/reference_matrices.hpp"
+#include "perf/perf_monitor.hpp"
 #include "physics/material.hpp"
 #include "rupture/fault_solver.hpp"
 #include "solver/receivers.hpp"
 #include "solver/time_clusters.hpp"
 
 namespace tsg {
+
+/// Which stepping pipeline executes the element kernels.  Both produce
+/// bitwise-identical results (tests/test_batched_kernels.cpp); kBatched
+/// fuses each time cluster's elements into blocked GEMMs over
+/// cluster-contiguous tiles and is the fast default, kReference is the
+/// one-element-at-a-time implementation kept as the readable oracle.
+enum class KernelPath {
+  kReference,
+  kBatched,
+};
 
 struct SolverConfig {
   int degree = 2;
@@ -45,6 +57,13 @@ struct SolverConfig {
   // traversal so that reproducibility no longer depends on that disjointness
   // argument holding for future solver extensions.
   bool deterministic = false;
+  // Kernel pipeline selection.  Like `deterministic`, these change the
+  // execution strategy but not the results or the state layout, so they
+  // are deliberately excluded from configHash(): checkpoints are
+  // interchangeable between the two paths.
+  KernelPath kernelPath = KernelPath::kBatched;
+  int batchSize = 0;  // elements per batch tile; <= 0 selects an L2-sized
+                      // default (see autoBatchSize)
 };
 
 /// q(x, material) -> initial state.
@@ -109,6 +128,23 @@ class Simulation {
   /// Completed element updates (the LTS time-to-solution metric).
   std::uint64_t elementUpdates() const { return elementUpdates_; }
 
+  // ---- performance observability --------------------------------------
+  /// Start recording per-phase x per-cluster wall time, FLOPs, and
+  /// element throughput during advanceTo.  `withTrace` additionally keeps
+  /// a bounded chrome-trace event buffer.  Overhead: two clock reads and
+  /// one counter aggregation per phase region.
+  PerfMonitor& enablePerfMonitor(bool withTrace = false);
+  PerfMonitor* perfMonitor() { return perf_.get(); }
+  const PerfMonitor* perfMonitor() const { return perf_.get(); }
+  /// Static run metadata for perfReportJson / writePerfReport.
+  PerfReportMeta perfReportMeta(const std::string& scenario) const;
+
+  /// Raw modal coefficients ([element][nb][9]); read-only, used by the
+  /// kernel-equivalence and relayout property tests.
+  const std::vector<real>& dofsData() const { return dofs_; }
+  /// Cluster-contiguous batch layout (built on first batched advance).
+  const ClusterBatchLayout& batchLayout() const { return batchLayout_; }
+
   // ---- checkpoint / restart -------------------------------------------
   /// Serialize the full mutable solver state (DOFs, clock, sea-surface
   /// eta, fault friction state, seafloor uplift accumulators, receiver
@@ -154,6 +190,16 @@ class Simulation {
   void corrector(int elem, std::int64_t tick);
   void computeRuptureFluxes(int clusterId, real dt, real stepStartTime);
 
+  // Batched pipeline: cluster-contiguous relayout + per-batch kernels.
+  void ensureBatchLayout();
+  void predictorBatch(const ElementBatch& batch, bool reset);
+  void correctorBatch(const ElementBatch& batch, std::int64_t tick);
+
+  // Analytic main-memory traffic models for the perf report [bytes/elem].
+  std::uint64_t predictorBytesPerElement() const;
+  std::uint64_t correctorBytesPerElement() const;
+  std::uint64_t ruptureBytesPerFace() const;
+
   real* dofsOf(int e) { return dofs_.data() + static_cast<std::size_t>(e) * nbq_; }
   const real* dofsOf(int e) const {
     return dofs_.data() + static_cast<std::size_t>(e) * nbq_;
@@ -198,6 +244,34 @@ class Simulation {
   std::unique_ptr<GravityBoundary> gravity_;
   std::unique_ptr<FaultSolver> fault_;
   std::vector<real> ruptureFlux_;  // [face][2][nq*9] staging buffers
+  std::vector<std::int64_t> faultFacesOfCluster_;  // rupture-phase workload
+
+  // ---- batched pipeline state (kernelPath == kBatched) -----------------
+  // Static per-element data relaid out cluster-contiguously at the first
+  // batched advance (after setupFault, which assigns rupture faceAux_).
+  struct BatchFaceInfo {
+    FaceKind kind = FaceKind::kRegular;
+    std::uint8_t neighborFace = 0, permutation = 0;
+    // Neighbor cluster relation: 0 same cluster, 1 coarser, 2 finer.
+    std::uint8_t relation = 0;
+    int neighbor = -1;   // mesh element id
+    int aux = -1;        // gravity/rupture face index
+    int seafloor = -1;   // seafloorFaces_ index
+    real scale = 0;
+  };
+  ClusterBatchLayout batchLayout_;
+  std::vector<BatchFaceInfo> batchFaces_;  // [orderedElem*4 + f]
+  std::vector<real> starTB_;               // [orderedElem][3][81]
+  std::vector<real> negStarTB_;            // -starTB_ (predictor operand)
+  std::vector<real> negFluxMinusTB_;       // [orderedElem*4+f][81], negated
+  std::vector<real> negFluxPlusTB_;        // [orderedElem*4+f][81], negated
+  // Mesh elements whose derivative stack is read outside their own
+  // predictor (gravity/rupture faces, coarser LTS neighbours): only these
+  // lanes scatter the stack tiles back to per-element storage.
+  std::vector<std::uint8_t> stackNeeded_;  // [mesh elem]
+  bool batchLayoutReady_ = false;
+
+  std::unique_ptr<PerfMonitor> perf_;
 
   // Seafloor uplift recorder (elastic side of elastic-acoustic faces).
   struct SeafloorFace {
@@ -222,6 +296,9 @@ class Simulation {
   // count changes after construction.
   std::size_t scratchSize_ = 0;
   real* threadScratch();
+  // Tile scratch of the batched pipeline ((degree+3) tiles of nb*9*B).
+  std::size_t batchScratchSize_ = 0;
+  real* threadBatchScratch();
 };
 
 }  // namespace tsg

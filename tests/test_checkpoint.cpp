@@ -37,7 +37,9 @@ std::string fileBytes(const std::string& path) {
 
 /// Small two-material box with a gravity free surface on top: exercises
 /// DOFs, eta, and seafloor-uplift state without the megathrust cost.
-std::unique_ptr<Simulation> smallGravitySim(int degree, real cflFraction) {
+std::unique_ptr<Simulation> smallGravitySim(
+    int degree, real cflFraction,
+    KernelPath kernelPath = KernelPath::kBatched) {
   BoxMeshSpec spec;
   spec.xLines = uniformLine(0, 1000, 3);
   spec.yLines = uniformLine(0, 1000, 3);
@@ -51,6 +53,7 @@ std::unique_ptr<Simulation> smallGravitySim(int degree, real cflFraction) {
   cfg.degree = degree;
   cfg.cflFraction = cflFraction;
   cfg.deterministic = true;
+  cfg.kernelPath = kernelPath;
   auto sim = std::make_unique<Simulation>(
       buildBoxMesh(spec),
       std::vector<Material>{Material::fromVelocities(2700, 6000, 3464),
@@ -335,6 +338,39 @@ TEST(Checkpoint, AtomicWriteSurvivesStaleTempAndFailedRewrite) {
       sim->saveCheckpoint("ckpt_no_such_dir/sub/ckpt.tsgck"), IoError);
   EXPECT_EQ(fileBytes(path), fileBytes(path));  // still readable
   EXPECT_NO_THROW(readCheckpointFile(path, payload));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RelayoutSurvivesCrossKernelPathSaveRestore) {
+  // kernelPath is deliberately excluded from configHash(): the batched
+  // pipeline keeps the per-element arrays primary (the relayout is pure
+  // data movement), so a checkpoint written by a batched run must restore
+  // into a reference-path simulation -- and vice versa -- and continue
+  // bitwise-identically.
+  const std::string path = "ckpt_crosspath.tsgck";
+  auto a = smallGravitySim(2, 0.35, KernelPath::kBatched);
+  a->advanceTo(2.0 * a->macroDt() - 1e-12);
+  a->saveCheckpoint(path);
+  const real t2 = 4.0 * a->macroDt() - 1e-12;
+  a->advanceTo(t2);
+
+  for (KernelPath kp : {KernelPath::kReference, KernelPath::kBatched}) {
+    auto b = smallGravitySim(2, 0.35, kp);
+    b->restoreCheckpoint(path);
+    b->advanceTo(t2);
+    EXPECT_EQ(a->tick(), b->tick());
+    const Receiver& ra = a->receiver(0);
+    const Receiver& rb = b->receiver(0);
+    ASSERT_EQ(ra.times.size(), rb.times.size());
+    for (std::size_t i = 0; i < ra.times.size(); ++i) {
+      ASSERT_EQ(ra.times[i], rb.times[i]);
+      for (int q = 0; q < kNumQuantities; ++q) {
+        ASSERT_EQ(ra.samples[i][q], rb.samples[i][q])
+            << (kp == KernelPath::kReference ? "reference" : "batched")
+            << " sample " << i << " quantity " << q;
+      }
+    }
+  }
   std::remove(path.c_str());
 }
 

@@ -4,8 +4,13 @@
 // for operating long runs.
 //
 // Usage:
-//   tsunamigen_cli <config-file>
+//   tsunamigen_cli [--perf-report[=path]] [--trace[=path]] <config-file>
 //   tsunamigen_cli --example-config     (prints a template and exits)
+//
+// --perf-report writes the per-phase x per-cluster kernel performance
+// breakdown (schema "tsg-perf-1", default path BENCH_kernels.json);
+// --trace additionally writes a chrome://tracing-compatible event file
+// (default <output_prefix>_trace.json).
 //
 // Exit codes (machine-readable for schedulers / retry wrappers):
 //   0  success
@@ -51,6 +56,8 @@ keep_checkpoints    = 3            # checkpoint files retained (rotation)
 resume              =              # path to a checkpoint to restart from
 health_check        = true         # NaN/Inf + energy blow-up monitor per macro cycle
 max_energy_growth   = 100.0        # allowed energy growth factor per macro cycle
+kernel_path         = batched      # batched (fused cluster tiles) | reference (per element)
+# batch_size        = 0            # elements per batch tile; 0 = auto L2-sized (expert)
 # cfl_fraction      = 0.35         # override the CFL fraction (expert)
 )";
 
@@ -69,6 +76,11 @@ struct CliOptions {
   bool healthCheck = true;
   real maxEnergyGrowth = 100.0;
   real cflFraction = 0;  // 0 = scenario default
+  KernelPath kernelPath = KernelPath::kBatched;
+  int batchSize = 0;  // 0 = auto
+  // Set from the command line, not the config file.
+  std::string perfReportPath;  // empty = no report
+  std::string tracePath;       // empty = no chrome trace
 };
 
 /// Read and validate all options.  Throws ConfigError (exit 2) on any
@@ -89,6 +101,20 @@ CliOptions readOptions(const ConfigFile& cfg) {
   o.healthCheck = cfg.getBool("health_check", true);
   o.maxEnergyGrowth = cfg.getNumber("max_energy_growth", 100.0);
   o.cflFraction = cfg.getNumber("cfl_fraction", 0.0);
+  const std::string kernelPath = cfg.getString("kernel_path", "batched");
+  if (kernelPath == "batched") {
+    o.kernelPath = KernelPath::kBatched;
+  } else if (kernelPath == "reference") {
+    o.kernelPath = KernelPath::kReference;
+  } else {
+    throw ConfigError("kernel_path must be batched | reference (got '" +
+                      kernelPath + "')");
+  }
+  o.batchSize = cfg.getInt("batch_size", 0);
+  if (o.batchSize < 0) {
+    throw ConfigError("batch_size must be >= 0 (got " +
+                      std::to_string(o.batchSize) + ")");
+  }
   for (const auto& key : cfg.unusedKeys()) {
     std::fprintf(stderr, "warning: unknown configuration key '%s'\n",
                  key.c_str());
@@ -143,6 +169,8 @@ std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
     SolverConfig sc = megathrustSolverConfig(o.degree);
     sc.ltsRate = o.lts ? 2 : 1;
     sc.deterministic = o.deterministic;
+    sc.kernelPath = o.kernelPath;
+    sc.batchSize = o.batchSize;
     if (o.cflFraction > 0) {
       sc.cflFraction = o.cflFraction;
     }
@@ -162,6 +190,8 @@ std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
     SolverConfig sc = paluSolverConfig(o.degree);
     sc.ltsRate = o.lts ? 2 : 1;
     sc.deterministic = o.deterministic;
+    sc.kernelPath = o.kernelPath;
+    sc.batchSize = o.batchSize;
     if (o.cflFraction > 0) {
       sc.cflFraction = o.cflFraction;
     }
@@ -186,6 +216,8 @@ std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
     sc.degree = o.degree;
     sc.ltsRate = o.lts ? 2 : 1;
     sc.deterministic = o.deterministic;
+    sc.kernelPath = o.kernelPath;
+    sc.batchSize = o.batchSize;
     if (o.cflFraction > 0) {
       sc.cflFraction = o.cflFraction;
     }
@@ -250,11 +282,20 @@ class CheckpointRotation {
   std::deque<std::string> written_;
 };
 
-int run(const std::string& configPath) {
+int run(const std::string& configPath, const std::string& perfReportPath,
+        const std::string& traceRequest) {
   const ConfigFile cfg = ConfigFile::load(configPath);
-  const CliOptions o = readOptions(cfg);
+  CliOptions o = readOptions(cfg);
+  o.perfReportPath = perfReportPath;
+  if (!traceRequest.empty()) {
+    o.tracePath =
+        traceRequest == "*" ? o.prefix + "_trace.json" : traceRequest;
+  }
 
   std::unique_ptr<Simulation> sim = buildSimulation(o);
+  if (!o.perfReportPath.empty() || !o.tracePath.empty()) {
+    sim->enablePerfMonitor(!o.tracePath.empty());
+  }
   if (!o.resume.empty()) {
     sim->restoreCheckpoint(o.resume);
     std::printf("resumed from %s at t = %.6g s (tick %lld)\n",
@@ -306,24 +347,56 @@ int run(const std::string& configPath) {
     std::printf("wrote %s_wavefield.vtk, %s_surface.vtk\n", o.prefix.c_str(),
                 o.prefix.c_str());
   }
+  if (const PerfMonitor* perf = sim->perfMonitor()) {
+    if (!o.perfReportPath.empty()) {
+      writePerfReport(o.perfReportPath, *perf, sim->perfReportMeta(o.scenario));
+      std::printf("wrote %s (kernel time %.3f s)\n", o.perfReportPath.c_str(),
+                  perf->totalSeconds());
+    }
+    if (!o.tracePath.empty()) {
+      perf->writeChromeTrace(o.tracePath);
+      std::printf("wrote %s\n", o.tracePath.c_str());
+    }
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--example-config") == 0) {
-    std::fputs(kTemplate, stdout);
-    return 0;
+  std::string configPath, perfReportPath, traceRequest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--example-config") {
+      std::fputs(kTemplate, stdout);
+      return 0;
+    } else if (arg == "--perf-report") {
+      perfReportPath = "BENCH_kernels.json";
+    } else if (arg.rfind("--perf-report=", 0) == 0) {
+      perfReportPath = arg.substr(std::strlen("--perf-report="));
+    } else if (arg == "--trace") {
+      traceRequest = "*";  // resolved to <output_prefix>_trace.json
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      traceRequest = arg.substr(std::strlen("--trace="));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else if (configPath.empty()) {
+      configPath = arg;
+    } else {
+      std::fprintf(stderr, "more than one config file given\n");
+      return 2;
+    }
   }
-  if (argc != 2) {
+  if (configPath.empty()) {
     std::fprintf(stderr,
-                 "usage: %s <config-file>\n       %s --example-config\n",
+                 "usage: %s [--perf-report[=path]] [--trace[=path]] "
+                 "<config-file>\n       %s --example-config\n",
                  argv[0], argv[0]);
     return 2;
   }
   try {
-    return run(argv[1]);
+    return run(configPath, perfReportPath, traceRequest);
   } catch (const ConfigError& e) {
     std::fprintf(stderr, "configuration error: %s\n", e.what());
     return 2;
