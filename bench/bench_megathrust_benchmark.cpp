@@ -84,9 +84,10 @@ int main() {
               sim.time(), sim.fault()->maxSlipRate());
 
   // ---- kernel-pipeline head-to-head -> BENCH_kernels.json ---------------
-  // Fresh sims on the coupled scenario, reference vs batched, identical
-  // work; the batched run carries the PerfMonitor whose phase breakdown
-  // (plus the measured speedup) becomes the machine-readable report.
+  // Fresh sims on the coupled scenario, reference vs batched vs fast,
+  // identical work; the fast run carries the PerfMonitor whose phase
+  // breakdown (plus the measured per-backend speedups) becomes the
+  // machine-readable report.
   {
     auto buildTimed = [&](KernelPath path) {
       SolverConfig c = megathrustSolverConfig(degree);
@@ -106,9 +107,9 @@ int main() {
                                            t0)
           .count();
     };
-    // Min-of-N with alternating reference/batched reps: single-run wall
-    // times on a shared machine swing by several percent, which is the
-    // same order as the effect being measured.
+    // Min-of-N with alternating reference/batched/fast reps: single-run
+    // wall times on a shared machine swing by several percent, which is
+    // the same order as the effect being measured.
     int reps = 3;
     if (const char* s = std::getenv("TSG_BENCH_REPS")) {
       reps = std::max(1, std::atoi(s));
@@ -116,34 +117,59 @@ int main() {
     std::printf("timing kernel pipelines to t = %.2f s (%d alternating "
                 "reps, min taken)...\n",
                 benchTEnd, reps);
-    double refSeconds = 0, batSeconds = 0;
-    std::unique_ptr<Simulation> batSim;
+    const KernelPath paths[] = {KernelPath::kReference, KernelPath::kBatched,
+                                KernelPath::kFast};
+    constexpr int kNumPaths = 3;
+    double seconds[kNumPaths] = {0, 0, 0};
+    std::string isaOf[kNumPaths];
+    std::unique_ptr<Simulation> fastSim;
     for (int r = 0; r < reps; ++r) {
-      auto refSim = buildTimed(KernelPath::kReference);
-      const double tr = timeRun(*refSim);
-      refSim.reset();
-      batSim = buildTimed(KernelPath::kBatched);
-      batSim->enablePerfMonitor();
-      const double tb = timeRun(*batSim);
-      std::printf("  rep %d: reference %.2fs, batched %.2fs\n", r + 1, tr, tb);
-      refSeconds = (r == 0) ? tr : std::min(refSeconds, tr);
-      batSeconds = (r == 0) ? tb : std::min(batSeconds, tb);
-      if (r + 1 < reps) {
-        batSim.reset();
+      double repSeconds[kNumPaths];
+      for (int p = 0; p < kNumPaths; ++p) {
+        auto s = buildTimed(paths[p]);
+        isaOf[p] = s->backend().isa();
+        const bool keep =
+            paths[p] == KernelPath::kFast && r + 1 == reps;
+        if (keep) {
+          s->enablePerfMonitor();
+        }
+        repSeconds[p] = timeRun(*s);
+        if (keep) {
+          fastSim = std::move(s);
+        }
+      }
+      std::printf("  rep %d: reference %.2fs, batched %.2fs, fast %.2fs\n",
+                  r + 1, repSeconds[0], repSeconds[1], repSeconds[2]);
+      for (int p = 0; p < kNumPaths; ++p) {
+        seconds[p] =
+            (r == 0) ? repSeconds[p] : std::min(seconds[p], repSeconds[p]);
       }
     }
-    const double speedup = refSeconds / batSeconds;
-    PerfReportMeta meta = batSim->perfReportMeta("megathrust");
-    meta.extra["speedup_vs_reference"] = speedup;
-    meta.extra["reference_seconds"] = refSeconds;
-    meta.extra["batched_seconds"] = batSeconds;
-    writePerfReport("BENCH_kernels.json", *batSim->perfMonitor(), meta);
-    const PhaseStats predictor = batSim->perfMonitor()->total(Phase::kPredictor);
-    const PhaseStats corrector = batSim->perfMonitor()->total(Phase::kCorrector);
-    std::printf("kernel speedup (batched vs reference): %.2fx "
-                "(%.2fs -> %.2fs); predictor %.1f GFLOP/s, corrector %.1f "
-                "GFLOP/s -> BENCH_kernels.json\n",
-                speedup, refSeconds, batSeconds,
+    PerfReportMeta meta = fastSim->perfReportMeta("megathrust");
+    for (int p = 0; p < kNumPaths; ++p) {
+      PerfBackendResult b;
+      b.backend = kernelPathName(paths[p]);
+      b.isa = isaOf[p];
+      b.seconds = seconds[p];
+      b.speedupVsReference = seconds[0] / seconds[p];
+      meta.backends.push_back(b);
+    }
+    // Legacy top-level keys (schema consumers predating the backends
+    // array); speedup_vs_reference reports the fastest pipeline.
+    meta.extra["speedup_vs_reference"] = seconds[0] / seconds[2];
+    meta.extra["reference_seconds"] = seconds[0];
+    meta.extra["batched_seconds"] = seconds[1];
+    meta.extra["fast_seconds"] = seconds[2];
+    writePerfReport("BENCH_kernels.json", *fastSim->perfMonitor(), meta);
+    const PhaseStats predictor =
+        fastSim->perfMonitor()->total(Phase::kPredictor);
+    const PhaseStats corrector =
+        fastSim->perfMonitor()->total(Phase::kCorrector);
+    std::printf("kernel speedups vs reference (%.2fs): batched %.2fx "
+                "(%.2fs), fast[%s] %.2fx (%.2fs); predictor %.1f GFLOP/s, "
+                "corrector %.1f GFLOP/s -> BENCH_kernels.json\n",
+                seconds[0], seconds[0] / seconds[1], seconds[1],
+                isaOf[2].c_str(), seconds[0] / seconds[2], seconds[2],
                 predictor.seconds > 0 ? predictor.flops / predictor.seconds / 1e9
                                       : 0.0,
                 corrector.seconds > 0 ? corrector.flops / corrector.seconds / 1e9

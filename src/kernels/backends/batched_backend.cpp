@@ -1,0 +1,307 @@
+#include "kernels/backends/batched_backend.hpp"
+
+#include <cstring>
+
+#include "kernels/element_kernels.hpp"
+
+namespace tsg {
+
+void BatchedBackend::prepare() {
+  if (ready_) {
+    return;
+  }
+  // Built lazily at the first advance: rupture faceAux indices only exist
+  // once setupFault() ran.
+  const ClusterLayout& clusters = *s_.clusters;
+  layout_ = ClusterBatchLayout(clusters, s_.rm->nb, s_.cfg->degree,
+                               s_.cfg->batchSize);
+  const std::size_t nOrdered = layout_.elements().size();
+  const int stride = kNumQuantities * kNumQuantities;
+  starTB_.assign(nOrdered * 3 * stride, 0.0);
+  negStarTB_.assign(nOrdered * 3 * stride, 0.0);
+  negFluxMinusTB_.assign(nOrdered * 4 * stride, 0.0);
+  negFluxPlusTB_.assign(nOrdered * 4 * stride, 0.0);
+  batchFaces_.assign(nOrdered * 4, {});
+  stackNeeded_.assign(s_.mesh->numElements(), 0);
+  for (std::size_t i = 0; i < nOrdered; ++i) {
+    const int e = layout_.elements()[i];
+    std::memcpy(starTB_.data() + i * 3 * stride,
+                s_.starT.data() + static_cast<std::size_t>(e) * 3 * stride,
+                sizeof(real) * 3 * stride);
+    for (int j = 0; j < 3 * stride; ++j) {
+      negStarTB_[i * 3 * stride + j] = -starTB_[i * 3 * stride + j];
+    }
+    for (int f = 0; f < 4; ++f) {
+      const std::size_t src = static_cast<std::size_t>(e) * 4 + f;
+      const std::size_t dst = i * 4 + f;
+      // The corrector only ever uses the flux-solver matrices negated
+      // (reference: multiply, then negate the product); storing them
+      // pre-negated folds that pass into the GEMM operand -- each product
+      // term flips sign exactly, so results stay bitwise-identical.
+      for (int j = 0; j < stride; ++j) {
+        negFluxMinusTB_[dst * stride + j] = -s_.fluxMinusT[src * stride + j];
+        negFluxPlusTB_[dst * stride + j] = -s_.fluxPlusT[src * stride + j];
+      }
+      BatchFaceInfo& info = batchFaces_[dst];
+      const FaceInfo& mi = s_.mesh->faces[e][f];
+      info.kind = s_.faceKind[src];
+      info.neighbor = mi.neighbor;
+      info.neighborFace = static_cast<std::uint8_t>(mi.neighborFace);
+      info.permutation = static_cast<std::uint8_t>(mi.permutation);
+      info.aux = s_.faceAux[src];
+      info.seafloor = s_.seafloorIndexOfFace[src];
+      info.scale = s_.faceScale[src];
+      if (mi.neighbor >= 0) {
+        const int dc = clusters.cluster[mi.neighbor] - clusters.cluster[e];
+        info.relation = dc == 0 ? 0 : (dc > 0 ? 1 : 2);
+      }
+      // Flag stacks read outside their own predictor: gravity and rupture
+      // faces read this element's stack; a coarser neighbour's stack is
+      // Taylor-integrated over our sub-interval in the corrector.
+      if (info.kind == FaceKind::kGravity ||
+          info.kind == FaceKind::kRuptureMinus ||
+          info.kind == FaceKind::kRupturePlus) {
+        stackNeeded_[e] = 1;
+      } else if (info.kind == FaceKind::kRegular && mi.neighbor >= 0 &&
+                 info.relation == 1) {
+        stackNeeded_[mi.neighbor] = 1;
+      }
+    }
+  }
+  batchScratchSize_ = static_cast<std::size_t>(s_.cfg->degree + 3) *
+                      s_.rm->nb * kNumQuantities * layout_.batchSize();
+  ready_ = true;
+}
+
+void BatchedBackend::runPredictorTile(int cluster, std::size_t tile,
+                                      bool resetBuffer) {
+  predictorBatch(batchOf(cluster, tile), resetBuffer);
+}
+
+void BatchedBackend::runCorrectorTile(int cluster, std::size_t tile,
+                                      std::int64_t tick) {
+  correctorBatch(batchOf(cluster, tile), tick);
+}
+
+void BatchedBackend::predictorBatch(const ElementBatch& batch, bool reset) {
+  const ReferenceMatrices& rm = *s_.rm;
+  const ClusterLayout& clusters = *s_.clusters;
+  const int width = batch.width;
+  const int ld = kNumQuantities * layout_.batchSize();
+  const int* elems = layout_.elements().data() + batch.begin;
+  const std::size_t tileSize = static_cast<std::size_t>(rm.nb) * ld;
+  real* stackTiles = backendThreadScratch(1, batchScratchSize_);
+  real* scratchTile = stackTiles + (s_.cfg->degree + 1) * tileSize;
+  real* tIntTile = scratchTile + tileSize;
+  const real* negStarTB =
+      negStarTB_.data() +
+      static_cast<std::size_t>(batch.begin) * 3 * kNumQuantities *
+          kNumQuantities;
+
+  gatherTile(s_.dofs.data(), elems, width, rm.nb, s_.nbq, ld, stackTiles);
+  k_->aderPredictor(rm, negStarTB, stackTiles, scratchTile, width, ld);
+  const real dt =
+      clusters.dtMin * static_cast<real>(clusters.spanOf(batch.cluster));
+  k_->taylorIntegrate(rm, stackTiles, 0.0, dt, tIntTile, width, ld);
+
+  // Scatter the time integral for every lane, but the derivative stack
+  // only for elements whose stack is read outside this batch (gravity and
+  // rupture faces, coarser LTS neighbours) -- for all other elements the
+  // stack lives and dies in the tiles.
+  for (int lane = 0; lane < width; ++lane) {
+    const int e = elems[lane];
+    if (!stackNeeded_[e]) {
+      continue;
+    }
+    for (int k = 0; k <= s_.cfg->degree; ++k) {
+      const real* tile = stackTiles + static_cast<std::size_t>(k) * tileSize +
+                         static_cast<std::size_t>(lane) * kNumQuantities;
+      real* dst = s_.stackOf(e) + static_cast<std::size_t>(k) * s_.nbq;
+      for (int l = 0; l < rm.nb; ++l) {
+        std::memcpy(dst + static_cast<std::size_t>(l) * kNumQuantities,
+                    tile + static_cast<std::size_t>(l) * ld,
+                    sizeof(real) * kNumQuantities);
+      }
+    }
+  }
+  scatterTile(tIntTile, elems, width, rm.nb, s_.nbq, ld, s_.tInt.data());
+
+  for (int lane = 0; lane < width; ++lane) {
+    const int e = elems[lane];
+    if (s_.hasCoarserNeighbor[e]) {
+      s_.accumulateLtsBuffer(e, reset);
+    }
+  }
+}
+
+void BatchedBackend::correctorBatch(const ElementBatch& batch,
+                                    std::int64_t tick) {
+  const ReferenceMatrices& rm = *s_.rm;
+  const ClusterLayout& clusters = *s_.clusters;
+  const int c = batch.cluster;
+  const std::int64_t span = clusters.spanOf(c);
+  const real dt = clusters.dtMin * static_cast<real>(span);
+  const int width = batch.width;
+  const int ld = kNumQuantities * layout_.batchSize();
+  const int* elems = layout_.elements().data() + batch.begin;
+  const std::size_t tileSize = static_cast<std::size_t>(rm.nb) * ld;
+  const int stride = kNumQuantities * kNumQuantities;
+
+  real* dofTile = backendThreadScratch(1, batchScratchSize_);
+  real* tIntTile = dofTile + tileSize;
+  real* faceScratch = tIntTile + tileSize;
+  // Fourth scratch tile (degree >= 1 guarantees it): per-lane contiguous
+  // nb x 9 slots holding coarser-neighbour sub-interval integrals so the
+  // neighbour-flux stage can run as one fused pass over the batch.
+  real* coarseInt = faceScratch + tileSize;
+  static thread_local std::vector<const real*> negFluxPtrs;
+  static thread_local std::vector<NeighborFluxLane> nbrLanes;
+  negFluxPtrs.resize(layout_.batchSize());
+  nbrLanes.resize(layout_.batchSize());
+  // Per-element scratch (neighbour integrals, gravity/rupture traces) --
+  // same regions as the reference corrector.
+  real* scratch = backendThreadScratch(0, s_.scratchSize);
+  real* scratchBig = scratch + 2 * s_.nbq;
+  real* fluxQp = scratchBig +
+                 2 * static_cast<std::size_t>(s_.cfg->degree + 1) * rm.nq *
+                     kNumQuantities;
+
+  gatherTile(s_.dofs.data(), elems, width, rm.nb, s_.nbq, ld, dofTile);
+  gatherTile(s_.tInt.data(), elems, width, rm.nb, s_.nbq, ld, tIntTile);
+
+  const real* starTB =
+      starTB_.data() + static_cast<std::size_t>(batch.begin) * 3 * stride;
+  k_->volumeKernel(rm, starTB, tIntTile, dofTile, faceScratch, width, ld);
+
+  for (int f = 0; f < 4; ++f) {
+    // (a) Per-lane pre-pass: stage the flux-solver products of regular /
+    // folded-boundary faces into the face scratch tile; apply pointwise
+    // gravity and rupture fluxes directly (their slot in each element's
+    // accumulation sequence is exactly here, matching the reference).
+    zeroTile(faceScratch, rm.nb, kNumQuantities * width, ld);
+    for (int lane = 0; lane < width; ++lane) {
+      const BatchFaceInfo& info =
+          batchFaces_[(static_cast<std::size_t>(batch.begin) + lane) * 4 + f];
+      real* laneDofs =
+          dofTile + static_cast<std::size_t>(lane) * kNumQuantities;
+      negFluxPtrs[lane] = nullptr;
+      switch (info.kind) {
+        case FaceKind::kRegular:
+        case FaceKind::kBoundaryFolded: {
+          // Pre-negated flux-solver matrix: the reference's negate-the-
+          // product pass is folded into the operand (bitwise-identical).
+          negFluxPtrs[lane] =
+              negFluxMinusTB_.data() +
+              ((static_cast<std::size_t>(batch.begin) + lane) * 4 + f) *
+                  stride;
+          break;
+        }
+        case FaceKind::kGravity:
+          s_.gravity->computeFlux(info.aux, rm, s_.stackOf(elems[lane]), dt,
+                                  fluxQp, scratchBig);
+          k_->pointwiseStrided(rm, rm.faceEvalTW[f], info.scale, fluxQp,
+                               laneDofs, ld);
+          break;
+        case FaceKind::kRuptureMinus: {
+          const real* staged = s_.ruptureFlux.data() +
+                               static_cast<std::size_t>(info.aux) * 2 *
+                                   rm.nq * kNumQuantities;
+          k_->pointwiseStrided(rm, rm.faceEvalTW[f], info.scale, staged,
+                               laneDofs, ld);
+          break;
+        }
+        case FaceKind::kRupturePlus: {
+          const FaultFace& ff = s_.fault->faceAt(info.aux);
+          const real* staged =
+              s_.ruptureFlux.data() +
+              (static_cast<std::size_t>(info.aux) * 2 + 1) * rm.nq *
+                  kNumQuantities;
+          k_->pointwiseStrided(
+              rm,
+              rm.faceEvalNeighborTW[ff.minusFace][ff.plusFace][ff.permutation],
+              info.scale, staged, laneDofs, ld);
+          break;
+        }
+      }
+
+      // Seafloor uplift recorder (identical to the reference corrector;
+      // reads only this element's time integral).
+      if (info.seafloor >= 0) {
+        s_.recordSeafloorUplift(info.seafloor, elems[lane], f);
+      }
+    }
+    k_->localFluxStage(rm.nb, width, ld, tIntTile, negFluxPtrs.data(),
+                       faceScratch);
+
+    // (b) One blocked GEMM per run of consecutive regular/boundary lanes:
+    // dofs -= fluxLocal[f] * staged flux products.
+    int lane = 0;
+    while (lane < width) {
+      const auto kindOf = [&](int l) {
+        return batchFaces_[(static_cast<std::size_t>(batch.begin) + l) * 4 + f]
+            .kind;
+      };
+      if (kindOf(lane) != FaceKind::kRegular &&
+          kindOf(lane) != FaceKind::kBoundaryFolded) {
+        ++lane;
+        continue;
+      }
+      int end = lane + 1;
+      while (end < width && (kindOf(end) == FaceKind::kRegular ||
+                             kindOf(end) == FaceKind::kBoundaryFolded)) {
+        ++end;
+      }
+      k_->gemmAccStrided(
+          rm.nb, kNumQuantities * (end - lane), rm.nb, rm.fluxLocal[f].data(),
+          rm.nb,
+          faceScratch + static_cast<std::size_t>(lane) * kNumQuantities, ld,
+          dofTile + static_cast<std::size_t>(lane) * kNumQuantities, ld);
+      lane = end;
+    }
+
+    // (c) Neighbour contributions of regular faces: resolve each lane's
+    // time-integral source (integrating coarser neighbours into this
+    // lane's contiguous coarseInt slot), then run the whole batch through
+    // one fused per-lane GEMM pass.
+    for (int lane2 = 0; lane2 < width; ++lane2) {
+      const BatchFaceInfo& info =
+          batchFaces_[(static_cast<std::size_t>(batch.begin) + lane2) * 4 + f];
+      NeighborFluxLane& ln = nbrLanes[lane2];
+      if (info.kind != FaceKind::kRegular) {
+        ln.src = nullptr;
+        continue;
+      }
+      if (info.relation == 0) {
+        ln.src = s_.tIntOf(info.neighbor);
+      } else if (info.relation == 1) {
+        // Coarser neighbour: integrate its Taylor expansion over our
+        // sub-interval of its (rate times as long) timestep.
+        const std::int64_t rel = (tick - span) % (span * clusters.rate);
+        const real off = clusters.dtMin * static_cast<real>(rel);
+        real* slot = coarseInt + static_cast<std::size_t>(lane2) * s_.nbq;
+        taylorIntegrate(rm, s_.stackOf(info.neighbor), off, off + dt, slot);
+        ln.src = slot;
+      } else {
+        // Finer neighbour: its buffer accumulated both sub-intervals.
+        ln.src = s_.buffer.data() +
+                 static_cast<std::size_t>(info.neighbor) * s_.nbq;
+      }
+      ln.negFluxPlusT =
+          negFluxPlusTB_.data() +
+          ((static_cast<std::size_t>(batch.begin) + lane2) * 4 + f) * stride;
+      ln.fluxNeighbor =
+          rm.fluxNeighbor[f][info.neighborFace][info.permutation].data();
+    }
+    k_->neighborFluxStage(rm.nb, width, ld, nbrLanes.data(), scratch,
+                          dofTile);
+  }
+
+  scatterTile(dofTile, elems, width, rm.nb, s_.nbq, ld, s_.dofs.data());
+
+  // Receivers hosted by elements of this batch: sample at the interval end.
+  for (int lane = 0; lane < width; ++lane) {
+    s_.sampleReceivers(elems[lane], tick);
+  }
+}
+
+}  // namespace tsg

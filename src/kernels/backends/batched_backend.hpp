@@ -1,0 +1,92 @@
+#pragma once
+
+// The batched pipeline: one cluster-contiguous batch per tile, fused
+// blocked GEMMs over interleaved tiles (see kernels/batch_layout.hpp).
+// Stage kernels are called through a StageKernels table; bound to
+// batchedStageKernels() the pipeline is bitwise-identical to the
+// reference backend (pinned by tests/test_batched_kernels.cpp), and the
+// fast backend reuses this driver with per-ISA tables.
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/backends/kernel_backend.hpp"
+#include "kernels/backends/stage_kernels.hpp"
+#include "kernels/batch_layout.hpp"
+
+namespace tsg {
+
+class BatchedBackend : public KernelBackend {
+ public:
+  explicit BatchedBackend(SolverState& state)
+      : BatchedBackend(state, batchedStageKernels(), "batched") {}
+
+  const char* name() const override { return name_; }
+  const char* isa() const override { return k_->isa; }
+
+  void prepare() override;
+  void invalidateLayout() override { ready_ = false; }
+
+  std::size_t numTiles(int cluster) const override {
+    return static_cast<std::size_t>(layout_.endBatchOfCluster(cluster) -
+                                    layout_.firstBatchOfCluster(cluster));
+  }
+  void runPredictorTile(int cluster, std::size_t tile,
+                        bool resetBuffer) override;
+  void runCorrectorTile(int cluster, std::size_t tile,
+                        std::int64_t tick) override;
+
+  const ClusterBatchLayout* batchLayout() const override { return &layout_; }
+  int reportBatchSize() const override {
+    return ready_ ? layout_.batchSize()
+                  : (s_.cfg->batchSize > 0
+                         ? s_.cfg->batchSize
+                         : autoBatchSize(s_.rm->nb, s_.cfg->degree));
+  }
+
+ protected:
+  BatchedBackend(SolverState& state, const StageKernels& kernels,
+                 const char* name)
+      : KernelBackend(state), k_(&kernels), name_(name) {}
+
+  const StageKernels* k_;
+
+ private:
+  // Static per-element/per-face data relaid out cluster-contiguously at
+  // the first advance (after setupFault, which assigns rupture face
+  // indices).
+  struct BatchFaceInfo {
+    FaceKind kind = FaceKind::kRegular;
+    std::uint8_t neighborFace = 0, permutation = 0;
+    // Neighbor cluster relation: 0 same cluster, 1 coarser, 2 finer.
+    std::uint8_t relation = 0;
+    int neighbor = -1;   // mesh element id
+    int aux = -1;        // gravity/rupture face index
+    int seafloor = -1;   // seafloorFaces index
+    real scale = 0;
+  };
+
+  void predictorBatch(const ElementBatch& batch, bool reset);
+  void correctorBatch(const ElementBatch& batch, std::int64_t tick);
+  const ElementBatch& batchOf(int cluster, std::size_t tile) const {
+    return layout_.batches()[layout_.firstBatchOfCluster(cluster) +
+                             static_cast<int>(tile)];
+  }
+
+  const char* name_;
+  ClusterBatchLayout layout_;
+  std::vector<BatchFaceInfo> batchFaces_;  // [orderedElem*4 + f]
+  std::vector<real> starTB_;               // [orderedElem][3][81]
+  std::vector<real> negStarTB_;            // -starTB_ (predictor operand)
+  std::vector<real> negFluxMinusTB_;       // [orderedElem*4+f][81], negated
+  std::vector<real> negFluxPlusTB_;        // [orderedElem*4+f][81], negated
+  // Mesh elements whose derivative stack is read outside their own
+  // predictor (gravity/rupture faces, coarser LTS neighbours): only these
+  // lanes scatter the stack tiles back to per-element storage.
+  std::vector<std::uint8_t> stackNeeded_;  // [mesh elem]
+  // Tile scratch of the batched pipeline ((degree+3) tiles of nb*9*B).
+  std::size_t batchScratchSize_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace tsg

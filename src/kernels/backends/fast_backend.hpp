@@ -1,0 +1,65 @@
+#pragma once
+
+// The fast backend: the batched tile driver bound to per-ISA compiled
+// stage kernels (kernels/backends/fast_stage_*.cpp), selected at runtime
+// by cpuid with a TSG_FORCE_ISA override (kernels/backends/isa_dispatch).
+// Relaxes the bitwise-identity-vs-reference contract (gated at 1e-9 on
+// receivers by tests/test_fast_backend.cpp); all of its own ISA variants
+// agree bitwise with each other.
+//
+// Stage kernels run with subnormals flushed to zero (MXCSR FTZ|DAZ).
+// Quiescent regions ahead of the wavefronts produce subnormal operands,
+// and this host class executes subnormal arithmetic ~50x slower than
+// normal arithmetic via microcode assists; flushing removes that cliff.
+// The flushed magnitudes (< ~2e-308) are far inside the 1e-9 relative
+// accuracy contract, and MXCSR semantics are identical across the SSE /
+// AVX encodings used by every fast TU, so the cross-ISA bitwise
+// guarantee is unaffected.  The batched backend must NOT flush: it is
+// held bitwise-identical to reference.
+
+#include "kernels/backends/batched_backend.hpp"
+#include "kernels/backends/isa_dispatch.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <xmmintrin.h>
+#define TSG_FAST_HAS_MXCSR 1
+#endif
+
+namespace tsg {
+
+/// RAII scope that flushes subnormals (FTZ|DAZ in MXCSR) and restores the
+/// caller's rounding environment on exit.  No-op on non-x86 builds.
+class FlushSubnormalsScope {
+#ifdef TSG_FAST_HAS_MXCSR
+ public:
+  FlushSubnormalsScope() : saved_(_mm_getcsr()) {
+    _mm_setcsr(saved_ | 0x8040u);  // FTZ (bit 15) | DAZ (bit 6)
+  }
+  ~FlushSubnormalsScope() { _mm_setcsr(saved_); }
+  FlushSubnormalsScope(const FlushSubnormalsScope&) = delete;
+  FlushSubnormalsScope& operator=(const FlushSubnormalsScope&) = delete;
+
+ private:
+  unsigned saved_;
+#endif
+};
+
+class FastBackend : public BatchedBackend {
+ public:
+  explicit FastBackend(SolverState& state)
+      : BatchedBackend(state, fastStageKernels(resolveFastIsa()), "fast") {}
+
+  void runPredictorTile(int cluster, std::size_t tile,
+                        bool resetBuffer) override {
+    FlushSubnormalsScope flush;
+    BatchedBackend::runPredictorTile(cluster, tile, resetBuffer);
+  }
+
+  void runCorrectorTile(int cluster, std::size_t tile,
+                        std::int64_t tick) override {
+    FlushSubnormalsScope flush;
+    BatchedBackend::runCorrectorTile(cluster, tile, tick);
+  }
+};
+
+}  // namespace tsg

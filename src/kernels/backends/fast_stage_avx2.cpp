@@ -1,0 +1,11 @@
+#ifdef TSG_FAST_TU_DISABLED
+#include "kernels/backends/stage_kernels.hpp"
+namespace tsg {
+const StageKernels& fastStageKernelsAvx2() { return fastStageKernelsScalar(); }
+}  // namespace tsg
+#else
+#define TSG_FAST_NS fast_avx2
+#define TSG_FAST_ISA_NAME "avx2"
+#define TSG_FAST_ACCESSOR fastStageKernelsAvx2
+#include "kernels/backends/fast_stage_impl.inc"
+#endif

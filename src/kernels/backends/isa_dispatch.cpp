@@ -1,0 +1,105 @@
+#include "kernels/backends/isa_dispatch.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tsg {
+
+const char* fastIsaName(FastIsa isa) {
+  switch (isa) {
+    case FastIsa::kScalar:
+      return "scalar";
+    case FastIsa::kSse2:
+      return "sse2";
+    case FastIsa::kAvx2:
+      return "avx2";
+    case FastIsa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool fastIsaSupported(FastIsa isa) {
+  switch (isa) {
+    case FastIsa::kScalar:
+      return true;
+    case FastIsa::kSse2:
+#ifdef __x86_64__
+      return true;  // SSE2 is part of the x86-64 baseline.
+#else
+      return false;
+#endif
+    case FastIsa::kAvx2:
+#ifdef __x86_64__
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case FastIsa::kAvx512:
+#ifdef __x86_64__
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+FastIsa detectFastIsa() {
+  // AVX2 is preferred over AVX-512 even where both are available: on the
+  // Xeon generations in wide deployment, sustained 512-bit execution
+  // triggers license-based frequency reduction that costs more than the
+  // doubled width returns on these moderate-arithmetic-intensity
+  // kernels (measured slower end-to-end on the megathrust bench, see
+  // ROADMAP.md).  AVX-512 stays available behind TSG_FORCE_ISA=avx512
+  // for hosts where it does win.
+  if (fastIsaSupported(FastIsa::kAvx2)) {
+    return FastIsa::kAvx2;
+  }
+  if (fastIsaSupported(FastIsa::kSse2)) {
+    return FastIsa::kSse2;
+  }
+  return FastIsa::kScalar;
+}
+
+FastIsa resolveFastIsa() {
+  const char* forced = std::getenv("TSG_FORCE_ISA");
+  if (forced == nullptr || *forced == '\0') {
+    return detectFastIsa();
+  }
+  const std::string name(forced);
+  FastIsa isa;
+  if (name == "scalar") {
+    isa = FastIsa::kScalar;
+  } else if (name == "sse2") {
+    isa = FastIsa::kSse2;
+  } else if (name == "avx2") {
+    isa = FastIsa::kAvx2;
+  } else if (name == "avx512") {
+    isa = FastIsa::kAvx512;
+  } else {
+    throw std::runtime_error("TSG_FORCE_ISA: unknown ISA '" + name +
+                             "' (expected scalar | sse2 | avx2 | avx512)");
+  }
+  if (!fastIsaSupported(isa)) {
+    throw std::runtime_error("TSG_FORCE_ISA: this host cannot execute '" +
+                             name + "'");
+  }
+  return isa;
+}
+
+const StageKernels& fastStageKernels(FastIsa isa) {
+  switch (isa) {
+    case FastIsa::kScalar:
+      return fastStageKernelsScalar();
+    case FastIsa::kSse2:
+      return fastStageKernelsSse2();
+    case FastIsa::kAvx2:
+      return fastStageKernelsAvx2();
+    case FastIsa::kAvx512:
+      return fastStageKernelsAvx512();
+  }
+  return fastStageKernelsScalar();
+}
+
+}  // namespace tsg

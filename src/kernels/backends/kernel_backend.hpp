@@ -1,0 +1,88 @@
+#pragma once
+
+// KernelBackend: the stage-execution layer of the solver.  A backend owns
+// the predictor / volume / surface / corrector stage implementations over
+// whatever data layout it chooses (per-element blocks, cluster-contiguous
+// tiles, ...); the ClusterScheduler (src/solver/cluster_scheduler.*) owns
+// the LTS macro-cycle ordering and calls back into the backend per
+// independent work item ("tile").
+//
+// Backends:
+//  * reference -- one element per tile, the readable per-element oracle;
+//  * batched   -- one cluster-contiguous batch per tile, fused blocked
+//    GEMMs, bitwise-identical to reference;
+//  * fast      -- the batched layout with per-ISA compiled stage kernels
+//    (scalar/SSE2/AVX2/AVX-512 translation units, runtime cpuid dispatch,
+//    TSG_FORCE_ISA override); relaxes the bitwise-identity contract.
+
+#include <cstdint>
+#include <memory>
+
+#include "kernels/backends/solver_state.hpp"
+
+namespace tsg {
+
+class ClusterBatchLayout;
+
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// Canonical name: "reference" | "batched" | "fast".
+  virtual const char* name() const = 0;
+  /// Instruction-set variant executing the stage kernels ("generic" for
+  /// the portable backends; "scalar"/"sse2"/"avx2"/"avx512" for fast).
+  virtual const char* isa() const = 0;
+
+  /// (Re)build layout-dependent data.  Called at the start of every
+  /// advance; must be idempotent and cheap when already prepared.
+  virtual void prepare() {}
+  /// Invalidate layout-dependent data (e.g. after setupFault assigns
+  /// rupture face indices).
+  virtual void invalidateLayout() {}
+
+  /// Number of independent work items for one stage pass over cluster c.
+  /// The scheduler distributes tiles over OpenMP threads and sizes its
+  /// dynamic-schedule chunks from this count.
+  virtual std::size_t numTiles(int cluster) const = 0;
+
+  /// Predictor stage for one tile of cluster c: derivative stacks, time
+  /// integrals, and LTS buffer accumulation (`resetBuffer` restarts the
+  /// coarser neighbour's accumulation window).
+  virtual void runPredictorTile(int cluster, std::size_t tile,
+                                bool resetBuffer) = 0;
+
+  /// Corrector stage for one tile of cluster c ending at `tick`: volume +
+  /// surface stages, seafloor recording, receiver sampling.
+  virtual void runCorrectorTile(int cluster, std::size_t tile,
+                                std::int64_t tick) = 0;
+
+  /// Stage the Godunov flux traces of one dynamic-rupture face (shared by
+  /// all backends; pointwise, not layout-dependent).
+  void stageRuptureFace(int face, real dt, real stepStartTime);
+
+  /// Batch layout of tile-based backends (null for reference).
+  virtual const ClusterBatchLayout* batchLayout() const { return nullptr; }
+  /// Batch size for the perf report (0 for reference).
+  virtual int reportBatchSize() const { return 0; }
+
+ protected:
+  explicit KernelBackend(SolverState& state) : s_(state) {}
+
+  SolverState& s_;
+};
+
+/// Per-thread kernel scratch, held in thread-local storage so it is valid
+/// for any thread that enters a kernel regardless of how the OpenMP
+/// thread count changes after construction.  Two independent slots:
+/// 0 = per-element scratch, 1 = batched tile scratch (a batched corrector
+/// uses both at once).  Every kernel fully initialises the regions it
+/// reads, so content shared across Simulation instances cannot leak.
+real* backendThreadScratch(int slot, std::size_t size);
+
+/// Factory for the configured kernel path (throws std::invalid_argument
+/// for an unknown path; the fast backend resolves its ISA here, throwing
+/// std::runtime_error for an unusable TSG_FORCE_ISA).
+std::unique_ptr<KernelBackend> makeKernelBackend(SolverState& state);
+
+}  // namespace tsg

@@ -1,0 +1,148 @@
+#pragma once
+
+// Shared mutable solver state operated on by the kernel backends
+// (src/kernels/backends/) and orchestrated by the cluster scheduler
+// (src/solver/cluster_scheduler.*).  Simulation owns one SolverState and
+// fills the static per-element/per-face data during setup; the backends
+// only ever touch state through this view, so all three pipelines
+// (reference, batched, fast) read and write the exact same arrays and
+// checkpoints stay interchangeable between them.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geometry/mesh.hpp"
+#include "gravity/gravity_surface.hpp"
+#include "kernels/reference_matrices.hpp"
+#include "rupture/fault_solver.hpp"
+#include "solver/receivers.hpp"
+#include "solver/solver_config.hpp"
+#include "solver/time_clusters.hpp"
+
+namespace tsg {
+
+enum class FaceKind : std::uint8_t {
+  kRegular,
+  kBoundaryFolded,  // free surface / absorbing via a single flux matrix
+  kGravity,
+  kRuptureMinus,
+  kRupturePlus,
+};
+
+// Seafloor uplift recorder (elastic side of elastic-acoustic faces).
+struct SeafloorFace {
+  int elem, face;
+  std::vector<real> uplift;  // [nq]
+  std::vector<real> qpX, qpY;
+};
+
+struct SolverState {
+  // Immutable structural context (set once by Simulation's constructor).
+  const Mesh* mesh = nullptr;
+  const ReferenceMatrices* rm = nullptr;
+  const SolverConfig* cfg = nullptr;
+  const ClusterLayout* clusters = nullptr;
+  int nbq = 0;                  // nb * 9, reals per modal block
+  std::size_t scratchSize = 0;  // per-element kernel scratch [reals]
+
+  // Per-element evolving state.
+  std::vector<real> dofs, stack, tInt, buffer;
+
+  // Static per-element data.
+  std::vector<real> starT;  // [elem][3][81], transposed star matrices
+  std::vector<std::uint8_t> hasCoarserNeighbor;
+
+  // Static per-face data, indexed [elem*4 + f].
+  std::vector<FaceKind> faceKind;
+  std::vector<real> fluxMinusT;  // [81] each, pre-scaled
+  std::vector<real> fluxPlusT;   // [81] each, pre-scaled
+  std::vector<int> faceAux;      // gravity/rupture index per face
+  std::vector<real> faceScale;   // 2 A_f / |J|
+  std::vector<int> seafloorIndexOfFace;  // seafloorFaces index or -1
+
+  // Boundary subsystems (owned by Simulation; null when absent).
+  GravityBoundary* gravity = nullptr;
+  FaultSolver* fault = nullptr;
+  std::vector<real> ruptureFlux;  // [face][2][nq*9] staging buffers
+  std::vector<std::int64_t> faultFacesOfCluster;  // rupture-phase workload
+
+  // Observation state updated inside the corrector stage.
+  std::vector<SeafloorFace> seafloorFaces;
+  std::vector<Receiver> receivers;
+  std::vector<std::vector<int>> receiversOfElement;
+
+  // ---- addressing helpers ---------------------------------------------
+  real* dofsOf(int e) {
+    return dofs.data() + static_cast<std::size_t>(e) * nbq;
+  }
+  const real* dofsOf(int e) const {
+    return dofs.data() + static_cast<std::size_t>(e) * nbq;
+  }
+  real* stackOf(int e) {
+    return stack.data() +
+           static_cast<std::size_t>(e) * nbq * (cfg->degree + 1);
+  }
+  const real* stackOf(int e) const {
+    return stack.data() +
+           static_cast<std::size_t>(e) * nbq * (cfg->degree + 1);
+  }
+  real* tIntOf(int e) {
+    return tInt.data() + static_cast<std::size_t>(e) * nbq;
+  }
+  const real* tIntOf(int e) const {
+    return tInt.data() + static_cast<std::size_t>(e) * nbq;
+  }
+  real* bufferOf(int e) {
+    return buffer.data() + static_cast<std::size_t>(e) * nbq;
+  }
+
+  // ---- shared stage fragments -----------------------------------------
+  /// Accumulate (or reset) the LTS buffer of an element with a coarser
+  /// neighbour from its freshly computed time integral.
+  void accumulateLtsBuffer(int e, bool reset) {
+    real* buf = bufferOf(e);
+    const real* ti = tIntOf(e);
+    if (reset) {
+      for (int i = 0; i < nbq; ++i) {
+        buf[i] = ti[i];
+      }
+    } else {
+      for (int i = 0; i < nbq; ++i) {
+        buf[i] += ti[i];
+      }
+    }
+  }
+
+  /// Seafloor uplift recorder: accumulate the vertical displacement
+  /// increment (time integral of v_z on the elastic side) of face f.
+  void recordSeafloorUplift(int seafloorIdx, int elem, int f) {
+    SeafloorFace& rec = seafloorFaces[seafloorIdx];
+    const real* ti = tIntOf(elem);
+    for (int i = 0; i < rm->nq; ++i) {
+      real dz = 0;
+      for (int l = 0; l < rm->nb; ++l) {
+        dz += rm->faceEval[f](i, l) * ti[l * kNumQuantities + kVz];
+      }
+      rec.uplift[i] += dz;
+    }
+  }
+
+  /// Sample every receiver hosted by `elem` at the end of its interval.
+  void sampleReceivers(int elem, std::int64_t tick) {
+    const real* q = dofsOf(elem);
+    for (int rid : receiversOfElement[elem]) {
+      Receiver& r = receivers[rid];
+      std::array<real, kNumQuantities> val{};
+      for (int l = 0; l < rm->nb; ++l) {
+        for (int p = 0; p < kNumQuantities; ++p) {
+          val[p] += r.phi[l] * q[l * kNumQuantities + p];
+        }
+      }
+      r.times.push_back(clusters->dtMin * static_cast<real>(tick));
+      r.samples.push_back(val);
+    }
+  }
+};
+
+}  // namespace tsg

@@ -1,0 +1,19 @@
+#include "kernels/backends/stage_kernels.hpp"
+
+namespace tsg {
+
+const StageKernels& batchedStageKernels() {
+  static const StageKernels k = {
+      "generic",
+      &batchedAderPredictor,
+      &batchedTaylorIntegrate,
+      &batchedVolumeKernel,
+      &batchedLocalFluxStage,
+      &batchedNeighborFluxStage,
+      &surfaceKernelPointwiseStrided,
+      &gemmAccStrided,
+  };
+  return k;
+}
+
+}  // namespace tsg

@@ -1,0 +1,55 @@
+#pragma once
+
+// A table of the tile-level stage kernels the batched driver calls into.
+// The batched backend binds the bitwise-pinned kernels from
+// kernels/batched_kernels.*; the fast backend binds a per-ISA compiled
+// variant (fast_stage_*.cpp) selected at runtime.  The driver logic in
+// batched_backend.cpp is shared, so the two backends differ ONLY in the
+// floating-point kernels executing each stage.
+
+#include "common/types.hpp"
+#include "kernels/batched_kernels.hpp"
+#include "kernels/reference_matrices.hpp"
+
+namespace tsg {
+
+struct StageKernels {
+  const char* isa;  // "generic" | "scalar" | "sse2" | "avx2" | "avx512"
+
+  /// See the same-named functions in kernels/batched_kernels.hpp for the
+  /// contracts; signatures match 1:1.
+  void (*aderPredictor)(const ReferenceMatrices& rm, const real* negStarTB,
+                        real* stackTiles, real* scratchTile, int width,
+                        int ld);
+  void (*taylorIntegrate)(const ReferenceMatrices& rm, const real* stackTiles,
+                          real a, real b, real* outTile, int width, int ld);
+  void (*volumeKernel)(const ReferenceMatrices& rm, const real* starTB,
+                       const real* tIntTile, real* dofTile, real* scratchTile,
+                       int width, int ld);
+  void (*localFluxStage)(int nb, int width, int ld, const real* tIntTile,
+                         const real* const* negFluxT, real* faceScratch);
+  void (*neighborFluxStage)(int nb, int width, int ld,
+                            const NeighborFluxLane* lanes, real* scratch,
+                            real* dofTile);
+  void (*pointwiseStrided)(const ReferenceMatrices& rm, const Matrix& testTW,
+                           real scale, const real* fluxQP, real* dofs,
+                           int ldc);
+  void (*gemmAccStrided)(int m, int n, int k, const real* a, int lda,
+                         const real* b, int ldb, real* c, int ldc);
+};
+
+/// The bitwise-pinned kernels of kernels/batched_kernels.* (isa "generic").
+const StageKernels& batchedStageKernels();
+
+/// Per-ISA compiled fast kernels (one translation unit per ISA; see
+/// src/CMakeLists.txt for the per-TU -march flags).  All four tables are
+/// always linked in; whether the host can EXECUTE one is decided by
+/// isa_dispatch.  A table compiled without its ISA flags (non-x86 build
+/// or missing compiler support) aliases the scalar table and reports
+/// isa "scalar".
+const StageKernels& fastStageKernelsScalar();
+const StageKernels& fastStageKernelsSse2();
+const StageKernels& fastStageKernelsAvx2();
+const StageKernels& fastStageKernelsAvx512();
+
+}  // namespace tsg

@@ -187,6 +187,8 @@ std::string perfReportJson(const PerfMonitor& m, const PerfReportMeta& meta) {
   out += "  \"schema\": \"tsg-perf-1\",\n";
   out += "  \"scenario\": " + jsonString(meta.scenario) + ",\n";
   out += "  \"kernel_path\": " + jsonString(meta.kernelPath) + ",\n";
+  out += "  \"backend\": " + jsonString(meta.backend) + ",\n";
+  out += "  \"isa\": " + jsonString(meta.isa) + ",\n";
   std::snprintf(buf, sizeof buf,
                 "  \"degree\": %d,\n  \"threads\": %d,\n"
                 "  \"batch_size\": %d,\n  \"elements\": %lld,\n",
@@ -247,6 +249,22 @@ std::string perfReportJson(const PerfMonitor& m, const PerfReportMeta& meta) {
     out += buf;
   }
   out += "]}";
+
+  if (!meta.backends.empty()) {
+    out += ",\n  \"backends\": [";
+    for (std::size_t i = 0; i < meta.backends.size(); ++i) {
+      if (i) {
+        out += ',';
+      }
+      const PerfBackendResult& b = meta.backends[i];
+      out += "{\"backend\":" + jsonString(b.backend) +
+             ",\"isa\":" + jsonString(b.isa) +
+             ",\"seconds\":" + jsonNumber(b.seconds) +
+             ",\"speedup_vs_reference\":" + jsonNumber(b.speedupVsReference) +
+             "}";
+    }
+    out += "]";
+  }
 
   for (const auto& [key, value] : meta.extra) {
     out += ",\n  " + jsonString(key) + ": " + jsonNumber(value);

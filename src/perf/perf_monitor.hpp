@@ -107,9 +107,19 @@ struct PerfClusterInfo {
   real dt = 0;
 };
 
+/// One backend's timing in a head-to-head comparison (benchmarks).
+struct PerfBackendResult {
+  std::string backend;  // "reference" | "batched" | "fast"
+  std::string isa;      // "generic" | "scalar" | "sse2" | "avx2" | "avx512"
+  double seconds = 0;
+  double speedupVsReference = 0;
+};
+
 struct PerfReportMeta {
   std::string scenario;
-  std::string kernelPath;  // "batched" | "reference"
+  std::string kernelPath;  // "reference" | "batched" | "fast"
+  std::string backend;     // stage-execution backend (KernelBackend::name)
+  std::string isa;         // ISA variant executing the stage kernels
   int degree = 0;
   int threads = 0;
   int batchSize = 0;
@@ -118,6 +128,8 @@ struct PerfReportMeta {
   std::uint64_t elementUpdates = 0;
   double simulatedSeconds = 0;
   std::vector<PerfClusterInfo> clusters;  // the LTS cluster histogram
+  /// Per-backend head-to-head results ("backends" array; may be empty).
+  std::vector<PerfBackendResult> backends;
   /// Extra top-level numeric fields (e.g. "speedup_vs_reference").
   std::map<std::string, double> extra;
 };

@@ -1,0 +1,147 @@
+#include "solver/cluster_scheduler.hpp"
+
+#include <omp.h>
+
+namespace tsg {
+
+namespace {
+
+/// Parallel loop over [0, n) with the schedule as an explicit per-loop
+/// choice: deterministic runs pin a static schedule, everything else uses
+/// dynamic work stealing.  Previously these loops said schedule(runtime)
+/// and read whatever omp_set_schedule state happened to be ambient, so a
+/// library or embedder calling omp_set_schedule could silently perturb
+/// deterministic mode; now the schedule can only come from `deterministic`.
+/// The dynamic chunk is computed per loop from the tile count
+/// (ltsChunkSize), not hard-coded: backends differ by orders of magnitude
+/// in tiles per cluster (a few heavy batches vs thousands of elements).
+template <class F>
+void ompFor(std::size_t n, bool deterministic, int chunk, F&& f) {
+  const std::ptrdiff_t sn = static_cast<std::ptrdiff_t>(n);
+  if (deterministic) {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < sn; ++i) {
+      f(static_cast<std::size_t>(i));
+    }
+  } else {
+#pragma omp parallel for schedule(dynamic, chunk)
+    for (std::ptrdiff_t i = 0; i < sn; ++i) {
+      f(static_cast<std::size_t>(i));
+    }
+  }
+}
+
+}  // namespace
+
+void ClusterScheduler::predictorPhase(int cluster, bool resetBuffer) {
+  const std::size_t tiles = backend_.numTiles(cluster);
+  ompFor(tiles, s_.cfg->deterministic,
+         ltsChunkSize(tiles, omp_get_max_threads()), [&](std::size_t t) {
+           backend_.runPredictorTile(cluster, t, resetBuffer);
+         });
+}
+
+void ClusterScheduler::correctorPhase(int cluster) {
+  const std::size_t tiles = backend_.numTiles(cluster);
+  ompFor(tiles, s_.cfg->deterministic,
+         ltsChunkSize(tiles, omp_get_max_threads()), [&](std::size_t t) {
+           backend_.runCorrectorTile(cluster, t, tick_);
+         });
+}
+
+void ClusterScheduler::rupturePhase(int cluster, real dt,
+                                    real stepStartTime) {
+  if (!s_.fault) {
+    return;
+  }
+  const std::size_t nf = static_cast<std::size_t>(s_.fault->numFaces());
+  ompFor(nf, s_.cfg->deterministic,
+         ltsChunkSize(nf, omp_get_max_threads()), [&](std::size_t i) {
+           const FaultFace& ff = s_.fault->faceAt(static_cast<int>(i));
+           if (s_.clusters->cluster[ff.minusElem] != cluster) {
+             return;
+           }
+           backend_.stageRuptureFace(static_cast<int>(i), dt, stepStartTime);
+         });
+}
+
+void ClusterScheduler::runMacroCycle(PerfMonitor* perf) {
+  const ClusterLayout& clusters = *s_.clusters;
+  const std::int64_t ticksPerMacro = clusters.ticksPerMacro();
+  for (std::int64_t step = 0; step < ticksPerMacro; ++step) {
+    // Predictor phase at the current tick.
+    for (int c = 0; c < clusters.numClusters; ++c) {
+      const std::int64_t span = clusters.spanOf(c);
+      if (tick_ % span != 0) {
+        continue;
+      }
+      const std::size_t nElems = clusters.elementsOfCluster[c].size();
+      // The coarser neighbour consumes the buffer once per `rate` of our
+      // steps; restart the accumulation at its step boundaries.
+      const bool reset = tick_ % (span * clusters.rate) == 0;
+      if (perf) {
+        perf->beginPhase(Phase::kPredictor, c);
+      }
+      predictorPhase(c, reset);
+      if (perf) {
+        perf->endPhase(Phase::kPredictor, c, nElems,
+                       nElems * predictorBytesPerElement());
+      }
+    }
+    ++tick_;
+    // Corrector phase for intervals ending at the new tick.
+    for (int c = 0; c < clusters.numClusters; ++c) {
+      const std::int64_t span = clusters.spanOf(c);
+      if (tick_ % span != 0) {
+        continue;
+      }
+      const real dt = clusters.dtMin * static_cast<real>(span);
+      const std::uint64_t faultFaces =
+          s_.fault ? static_cast<std::uint64_t>(s_.faultFacesOfCluster[c]) : 0;
+      if (perf) {
+        perf->beginPhase(Phase::kRuptureFlux, c);
+      }
+      rupturePhase(c, dt, clusters.dtMin * static_cast<real>(tick_ - span));
+      if (perf) {
+        perf->endPhase(Phase::kRuptureFlux, c, faultFaces,
+                       faultFaces * ruptureBytesPerFace());
+        perf->beginPhase(Phase::kCorrector, c);
+      }
+      correctorPhase(c);
+      const std::size_t nElems = clusters.elementsOfCluster[c].size();
+      if (perf) {
+        perf->endPhase(Phase::kCorrector, c, nElems,
+                       nElems * correctorBytesPerElement());
+      }
+      elementUpdates_ += nElems;
+    }
+  }
+}
+
+// Analytic main-memory traffic models (streamed arrays only; reference
+// matrices and flux solvers are shared and presumed cache-resident).
+std::uint64_t ClusterScheduler::predictorBytesPerElement() const {
+  // Read dofs + starT, write derivative stack + time integral (+ buffer).
+  const std::uint64_t nbq = static_cast<std::uint64_t>(s_.nbq);
+  return sizeof(real) *
+         (nbq + 3ull * kNumQuantities * kNumQuantities +
+          nbq * (s_.cfg->degree + 1) + 2ull * nbq);
+}
+
+std::uint64_t ClusterScheduler::correctorBytesPerElement() const {
+  // Read tInt + starT + 8 flux solvers + 4 neighbour sources; r/w dofs.
+  const std::uint64_t nbq = static_cast<std::uint64_t>(s_.nbq);
+  return sizeof(real) *
+         (nbq + 11ull * kNumQuantities * kNumQuantities + 4ull * nbq +
+          2ull * nbq);
+}
+
+std::uint64_t ClusterScheduler::ruptureBytesPerFace() const {
+  // Read both derivative stacks, write both staged flux traces.
+  const std::uint64_t nbq = static_cast<std::uint64_t>(s_.nbq);
+  return sizeof(real) * (2ull * nbq * (s_.cfg->degree + 1) +
+                         2ull * static_cast<std::uint64_t>(s_.rm->nq) *
+                             kNumQuantities);
+}
+
+}  // namespace tsg

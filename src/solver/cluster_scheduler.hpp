@@ -1,0 +1,66 @@
+#pragma once
+
+// ClusterScheduler: the LTS orchestration layer.  Owns the rate-r
+// clustered local-time-stepping macro cycle (paper Sec. 4.4) -- which
+// cluster runs its predictor / rupture-flux / corrector phase at which
+// tick, in which order -- and distributes each phase's tile loop over
+// OpenMP threads.  WHAT runs per tile is the KernelBackend's business
+// (src/kernels/backends/); the scheduler never touches element data.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "kernels/backends/kernel_backend.hpp"
+#include "perf/perf_monitor.hpp"
+
+namespace tsg {
+
+/// Dynamic-schedule chunk for a phase loop of `tiles` work items on
+/// `threads` threads: aim for ~4 chunks per thread so work stealing can
+/// still balance unequal tile costs, clamped to [1, 32] so a handful of
+/// heavy batch tiles are handed out one by one while thousands of light
+/// per-element tiles are not scheduled individually.
+inline int ltsChunkSize(std::size_t tiles, int threads) {
+  const std::size_t perThread =
+      tiles / (4 * static_cast<std::size_t>(std::max(threads, 1)));
+  return static_cast<int>(
+      std::clamp<std::size_t>(perThread, std::size_t{1}, std::size_t{32}));
+}
+
+class ClusterScheduler {
+ public:
+  ClusterScheduler(SolverState& state, KernelBackend& backend)
+      : s_(state), backend_(backend) {}
+
+  /// Advance every cluster by one macro cycle (ticksPerMacro dtMin
+  /// ticks), all clusters synchronised on return.  Records per-phase
+  /// wall time / FLOPs / bytes into `perf` when non-null.
+  void runMacroCycle(PerfMonitor* perf);
+
+  /// Completed dtMin ticks.
+  std::int64_t tick() const { return tick_; }
+  /// Completed element updates (the LTS time-to-solution metric).
+  std::uint64_t elementUpdates() const { return elementUpdates_; }
+  /// Reset the LTS clock (checkpoint restore; macro-cycle boundary only).
+  void restoreClock(std::int64_t tick, std::uint64_t elementUpdates) {
+    tick_ = tick;
+    elementUpdates_ = elementUpdates;
+  }
+
+ private:
+  void predictorPhase(int cluster, bool resetBuffer);
+  void correctorPhase(int cluster);
+  void rupturePhase(int cluster, real dt, real stepStartTime);
+
+  // Analytic main-memory traffic models for the perf report [bytes/elem].
+  std::uint64_t predictorBytesPerElement() const;
+  std::uint64_t correctorBytesPerElement() const;
+  std::uint64_t ruptureBytesPerFace() const;
+
+  SolverState& s_;
+  KernelBackend& backend_;
+  std::int64_t tick_ = 0;
+  std::uint64_t elementUpdates_ = 0;
+};
+
+}  // namespace tsg

@@ -12,7 +12,6 @@
 #include "basis/dubiner.hpp"
 #include "checkpoint/checkpoint.hpp"
 #include "geometry/reference_tet.hpp"
-#include "kernels/batched_kernels.hpp"
 #include "kernels/element_kernels.hpp"
 #include "physics/jacobians.hpp"
 #include "physics/riemann.hpp"
@@ -32,28 +31,6 @@ std::array<Vec3, 3> gradXi(const Mesh& mesh, int elem) {
   return {r0, r1, r2};
 }
 
-/// Parallel loop over [0, n) with the schedule as an explicit per-loop
-/// choice: deterministic runs pin a static schedule, everything else uses
-/// dynamic work stealing.  Previously these loops said schedule(runtime)
-/// and read whatever omp_set_schedule state happened to be ambient, so a
-/// library or embedder calling omp_set_schedule could silently perturb
-/// deterministic mode; now the schedule can only come from `deterministic`.
-template <class F>
-void ompFor(std::size_t n, bool deterministic, int chunk, F&& f) {
-  const std::ptrdiff_t sn = static_cast<std::ptrdiff_t>(n);
-  if (deterministic) {
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < sn; ++i) {
-      f(static_cast<std::size_t>(i));
-    }
-  } else {
-#pragma omp parallel for schedule(dynamic, chunk)
-    for (std::ptrdiff_t i = 0; i < sn; ++i) {
-      f(static_cast<std::size_t>(i));
-    }
-  }
-}
-
 }  // namespace
 
 Simulation::Simulation(Mesh mesh, std::vector<Material> materialTable,
@@ -62,7 +39,7 @@ Simulation::Simulation(Mesh mesh, std::vector<Material> materialTable,
       materialTable_(std::move(materialTable)),
       cfg_(cfg),
       rm_(referenceMatrices(cfg.degree)) {
-  nbq_ = dofCount(rm_);
+  const int nbq = dofCount(rm_);
   const int n = mesh_.numElements();
   elemMaterial_.resize(n);
   for (int e = 0; e < n; ++e) {
@@ -76,58 +53,42 @@ Simulation::Simulation(Mesh mesh, std::vector<Material> materialTable,
   clusters_ = buildClusters(mesh_, elemMaterial_, cfg_.degree,
                             cfg_.cflFraction, cfg_.ltsRate, cfg_.maxClusters);
 
-  dofs_.assign(static_cast<std::size_t>(n) * nbq_, 0.0);
-  stack_.assign(static_cast<std::size_t>(n) * nbq_ * (cfg_.degree + 1), 0.0);
-  tInt_.assign(static_cast<std::size_t>(n) * nbq_, 0.0);
-  buffer_.assign(static_cast<std::size_t>(n) * nbq_, 0.0);
+  state_.mesh = &mesh_;
+  state_.rm = &rm_;
+  state_.cfg = &cfg_;
+  state_.clusters = &clusters_;
+  state_.nbq = nbq;
+  state_.dofs.assign(static_cast<std::size_t>(n) * nbq, 0.0);
+  state_.stack.assign(static_cast<std::size_t>(n) * nbq * (cfg_.degree + 1),
+                      0.0);
+  state_.tInt.assign(static_cast<std::size_t>(n) * nbq, 0.0);
+  state_.buffer.assign(static_cast<std::size_t>(n) * nbq, 0.0);
 
   setupElementData();
   setupFaces();
 
-  scratchSize_ =
-      2 * static_cast<std::size_t>(nbq_) +
+  state_.scratchSize =
+      2 * static_cast<std::size_t>(nbq) +
       2 * static_cast<std::size_t>(cfg_.degree + 1) * rm_.nq * kNumQuantities +
       2 * static_cast<std::size_t>(rm_.nq) * kNumQuantities;
-  receiversOfElement_.assign(n, {});
+  state_.receiversOfElement.assign(n, {});
   spatialIndex_ = std::make_unique<SpatialIndex>(mesh_);
-}
 
-real* Simulation::threadScratch() {
-  // Thread-local (not indexed by omp_get_thread_num() into a fixed array):
-  // stays in bounds even if omp_set_num_threads() raises the thread count
-  // between construction and advanceTo, and is race-free by construction.
-  // Shared across Simulation instances on the same thread; every kernel
-  // fully initialises the scratch regions it reads, so stale content from
-  // another instance cannot leak into results.
-  static thread_local std::vector<real> buf;
-  if (buf.size() < scratchSize_) {
-    buf.resize(scratchSize_);
-  }
-  return buf.data();
-}
-
-real* Simulation::threadBatchScratch() {
-  // Same thread-local discipline as threadScratch: valid for any thread
-  // that enters a batched kernel, every tile region it reads is fully
-  // initialised by the kernels first.
-  static thread_local std::vector<real> buf;
-  if (buf.size() < batchScratchSize_) {
-    buf.resize(batchScratchSize_);
-  }
-  return buf.data();
+  backend_ = makeKernelBackend(state_);
+  scheduler_ = std::make_unique<ClusterScheduler>(state_, *backend_);
 }
 
 void Simulation::setupElementData() {
   const int n = mesh_.numElements();
-  starT_.assign(static_cast<std::size_t>(n) * 3 * kNumQuantities *
-                    kNumQuantities,
-                0.0);
-  hasCoarserNeighbor_.assign(n, 0);
+  state_.starT.assign(static_cast<std::size_t>(n) * 3 * kNumQuantities *
+                          kNumQuantities,
+                      0.0);
+  state_.hasCoarserNeighbor.assign(n, 0);
   for (int e = 0; e < n; ++e) {
     const auto g = gradXi(mesh_, e);
     for (int c = 0; c < 3; ++c) {
       const Matrix star = starMatrix(elemMaterial_[e], g[c]);
-      real* dst = starT_.data() +
+      real* dst = state_.starT.data() +
                   (static_cast<std::size_t>(e) * 3 + c) * kNumQuantities *
                       kNumQuantities;
       for (int i = 0; i < kNumQuantities; ++i) {
@@ -139,7 +100,7 @@ void Simulation::setupElementData() {
     for (int f = 0; f < 4; ++f) {
       const int nb = mesh_.faces[e][f].neighbor;
       if (nb >= 0 && clusters_.cluster[nb] > clusters_.cluster[e]) {
-        hasCoarserNeighbor_[e] = 1;
+        state_.hasCoarserNeighbor[e] = 1;
       }
     }
   }
@@ -148,15 +109,16 @@ void Simulation::setupElementData() {
 void Simulation::setupFaces() {
   const int n = mesh_.numElements();
   const int stride = kNumQuantities * kNumQuantities;
-  faceKind_.assign(static_cast<std::size_t>(n) * 4, FaceKind::kRegular);
-  fluxMinusT_.assign(static_cast<std::size_t>(n) * 4 * stride, 0.0);
-  fluxPlusT_.assign(static_cast<std::size_t>(n) * 4 * stride, 0.0);
-  faceAux_.assign(static_cast<std::size_t>(n) * 4, -1);
-  faceScale_.assign(static_cast<std::size_t>(n) * 4, 0.0);
-  seafloorIndexOfFace_.assign(static_cast<std::size_t>(n) * 4, -1);
+  state_.faceKind.assign(static_cast<std::size_t>(n) * 4, FaceKind::kRegular);
+  state_.fluxMinusT.assign(static_cast<std::size_t>(n) * 4 * stride, 0.0);
+  state_.fluxPlusT.assign(static_cast<std::size_t>(n) * 4 * stride, 0.0);
+  state_.faceAux.assign(static_cast<std::size_t>(n) * 4, -1);
+  state_.faceScale.assign(static_cast<std::size_t>(n) * 4, 0.0);
+  state_.seafloorIndexOfFace.assign(static_cast<std::size_t>(n) * 4, -1);
 
   if (cfg_.gravity > 0) {
     gravity_ = std::make_unique<GravityBoundary>(cfg_.degree, cfg_.gravity);
+    state_.gravity = gravity_.get();
   }
 
   auto storeT = [stride](const Matrix& m, real scale, real* dst) {
@@ -175,37 +137,37 @@ void Simulation::setupFaces() {
       const FaceInfo& info = mesh_.faces[e][f];
       const Vec3 normal = mesh_.faceNormal(e, f);
       const real scale = 2.0 * mesh_.faceArea(e, f) / volJ;
-      faceScale_[idx] = scale;
+      state_.faceScale[idx] = scale;
 
       if (info.neighbor >= 0) {
         if (info.bc == BoundaryType::kDynamicRupture) {
-          faceKind_[idx] = (e < info.neighbor) ? FaceKind::kRuptureMinus
-                                               : FaceKind::kRupturePlus;
+          state_.faceKind[idx] = (e < info.neighbor) ? FaceKind::kRuptureMinus
+                                                     : FaceKind::kRupturePlus;
           continue;
         }
         const auto fm = interfaceFluxMatrices(elemMaterial_[e],
                                               elemMaterial_[info.neighbor],
                                               normal);
-        faceKind_[idx] = FaceKind::kRegular;
-        storeT(fm.fMinus, scale, fluxMinusT_.data() + idx * stride);
-        storeT(fm.fPlus, scale, fluxPlusT_.data() + idx * stride);
+        state_.faceKind[idx] = FaceKind::kRegular;
+        storeT(fm.fMinus, scale, state_.fluxMinusT.data() + idx * stride);
+        storeT(fm.fPlus, scale, state_.fluxPlusT.data() + idx * stride);
         continue;
       }
 
       // Boundary faces.
       if (info.bc == BoundaryType::kGravityFreeSurface && gravity_ &&
           elemMaterial_[e].isAcoustic()) {
-        faceKind_[idx] = FaceKind::kGravity;
-        faceAux_[idx] = gravity_->addFace(mesh_, e, f, elemMaterial_[e]);
+        state_.faceKind[idx] = FaceKind::kGravity;
+        state_.faceAux[idx] = gravity_->addFace(mesh_, e, f, elemMaterial_[e]);
         continue;
       }
       const BoundaryType folded =
           (info.bc == BoundaryType::kGravityFreeSurface)
               ? BoundaryType::kFreeSurface
               : info.bc;
-      faceKind_[idx] = FaceKind::kBoundaryFolded;
+      state_.faceKind[idx] = FaceKind::kBoundaryFolded;
       const Matrix eff = boundaryFluxMatrix(elemMaterial_[e], folded, normal);
-      storeT(eff, scale, fluxMinusT_.data() + idx * stride);
+      storeT(eff, scale, state_.fluxMinusT.data() + idx * stride);
     }
   }
 
@@ -231,77 +193,11 @@ void Simulation::setupFaces() {
         sf.qpX[i] = x[0];
         sf.qpY[i] = x[1];
       }
-      seafloorIndexOfFace_[static_cast<std::size_t>(e) * 4 + f] =
-          static_cast<int>(seafloorFaces_.size());
-      seafloorFaces_.push_back(std::move(sf));
+      state_.seafloorIndexOfFace[static_cast<std::size_t>(e) * 4 + f] =
+          static_cast<int>(state_.seafloorFaces.size());
+      state_.seafloorFaces.push_back(std::move(sf));
     }
   }
-}
-
-void Simulation::ensureBatchLayout() {
-  if (batchLayoutReady_) {
-    return;
-  }
-  // Built lazily at the first batched advance: rupture faceAux_ indices
-  // only exist once setupFault() ran.
-  batchLayout_ =
-      ClusterBatchLayout(clusters_, rm_.nb, cfg_.degree, cfg_.batchSize);
-  const std::size_t nOrdered = batchLayout_.elements().size();
-  const int stride = kNumQuantities * kNumQuantities;
-  starTB_.assign(nOrdered * 3 * stride, 0.0);
-  negStarTB_.assign(nOrdered * 3 * stride, 0.0);
-  negFluxMinusTB_.assign(nOrdered * 4 * stride, 0.0);
-  negFluxPlusTB_.assign(nOrdered * 4 * stride, 0.0);
-  batchFaces_.assign(nOrdered * 4, {});
-  stackNeeded_.assign(mesh_.numElements(), 0);
-  for (std::size_t i = 0; i < nOrdered; ++i) {
-    const int e = batchLayout_.elements()[i];
-    std::memcpy(starTB_.data() + i * 3 * stride,
-                starT_.data() + static_cast<std::size_t>(e) * 3 * stride,
-                sizeof(real) * 3 * stride);
-    for (int j = 0; j < 3 * stride; ++j) {
-      negStarTB_[i * 3 * stride + j] = -starTB_[i * 3 * stride + j];
-    }
-    for (int f = 0; f < 4; ++f) {
-      const std::size_t src = static_cast<std::size_t>(e) * 4 + f;
-      const std::size_t dst = i * 4 + f;
-      // The corrector only ever uses the flux-solver matrices negated
-      // (reference: multiply, then negate the product); storing them
-      // pre-negated folds that pass into the GEMM operand -- each product
-      // term flips sign exactly, so results stay bitwise-identical.
-      for (int j = 0; j < stride; ++j) {
-        negFluxMinusTB_[dst * stride + j] = -fluxMinusT_[src * stride + j];
-        negFluxPlusTB_[dst * stride + j] = -fluxPlusT_[src * stride + j];
-      }
-      BatchFaceInfo& info = batchFaces_[dst];
-      const FaceInfo& mi = mesh_.faces[e][f];
-      info.kind = faceKind_[src];
-      info.neighbor = mi.neighbor;
-      info.neighborFace = static_cast<std::uint8_t>(mi.neighborFace);
-      info.permutation = static_cast<std::uint8_t>(mi.permutation);
-      info.aux = faceAux_[src];
-      info.seafloor = seafloorIndexOfFace_[src];
-      info.scale = faceScale_[src];
-      if (mi.neighbor >= 0) {
-        const int dc = clusters_.cluster[mi.neighbor] - clusters_.cluster[e];
-        info.relation = dc == 0 ? 0 : (dc > 0 ? 1 : 2);
-      }
-      // Flag stacks read outside their own predictor: gravity and rupture
-      // faces read this element's stack; a coarser neighbour's stack is
-      // Taylor-integrated over our sub-interval in the corrector.
-      if (info.kind == FaceKind::kGravity ||
-          info.kind == FaceKind::kRuptureMinus ||
-          info.kind == FaceKind::kRupturePlus) {
-        stackNeeded_[e] = 1;
-      } else if (info.kind == FaceKind::kRegular && mi.neighbor >= 0 &&
-                 info.relation == 1) {
-        stackNeeded_[mi.neighbor] = 1;
-      }
-    }
-  }
-  batchScratchSize_ = static_cast<std::size_t>(cfg_.degree + 3) * rm_.nb *
-                      kNumQuantities * batchLayout_.batchSize();
-  batchLayoutReady_ = true;
 }
 
 void Simulation::setInitialCondition(const InitialCondition& f) {
@@ -309,8 +205,8 @@ void Simulation::setInitialCondition(const InitialCondition& f) {
   const int nvq = static_cast<int>(rm_.volQuadXi.size());
 #pragma omp parallel for schedule(static)
   for (int e = 0; e < n; ++e) {
-    real* q = dofsOf(e);
-    std::memset(q, 0, sizeof(real) * nbq_);
+    real* q = state_.dofsOf(e);
+    std::memset(q, 0, sizeof(real) * state_.nbq);
     for (int i = 0; i < nvq; ++i) {
       const Vec3 x = mesh_.toPhysical(e, rm_.volQuadXi[i]);
       const auto val = f(x, mesh_.elements[e].material);
@@ -326,30 +222,32 @@ void Simulation::setInitialCondition(const InitialCondition& f) {
 
 void Simulation::setupFault(const FaultInitFn& init) {
   fault_ = std::make_unique<FaultSolver>(cfg_.degree, cfg_.frictionLaw);
+  state_.fault = fault_.get();
   const int n = mesh_.numElements();
   for (int e = 0; e < n; ++e) {
     for (int f = 0; f < 4; ++f) {
       const std::size_t idx = static_cast<std::size_t>(e) * 4 + f;
-      if (faceKind_[idx] != FaceKind::kRuptureMinus) {
+      if (state_.faceKind[idx] != FaceKind::kRuptureMinus) {
         continue;
       }
       const FaceInfo& info = mesh_.faces[e][f];
       const int fi = fault_->addFace(mesh_, e, f, elemMaterial_[e],
                                      elemMaterial_[info.neighbor], init);
-      faceAux_[idx] = fi;
-      faceAux_[static_cast<std::size_t>(info.neighbor) * 4 +
-               info.neighborFace] = fi;
+      state_.faceAux[idx] = fi;
+      state_.faceAux[static_cast<std::size_t>(info.neighbor) * 4 +
+                     info.neighborFace] = fi;
     }
   }
-  ruptureFlux_.assign(static_cast<std::size_t>(fault_->numFaces()) * 2 *
-                          rm_.nq * kNumQuantities,
-                      0.0);
-  faultFacesOfCluster_.assign(clusters_.numClusters, 0);
+  state_.ruptureFlux.assign(static_cast<std::size_t>(fault_->numFaces()) * 2 *
+                                rm_.nq * kNumQuantities,
+                            0.0);
+  state_.faultFacesOfCluster.assign(clusters_.numClusters, 0);
   for (int i = 0; i < fault_->numFaces(); ++i) {
-    ++faultFacesOfCluster_[clusters_.cluster[fault_->faceAt(i).minusElem]];
+    ++state_.faultFacesOfCluster[clusters_.cluster[fault_->faceAt(i)
+                                                       .minusElem]];
   }
-  // Rupture faceAux_ assignments change the batch-ordered face metadata.
-  batchLayoutReady_ = false;
+  // Rupture faceAux assignments change the batch-ordered face metadata.
+  backend_->invalidateLayout();
 }
 
 int Simulation::addReceiver(const std::string& name, const Vec3& x) {
@@ -365,9 +263,9 @@ int Simulation::addReceiver(const std::string& name, const Vec3& x) {
   for (int l = 0; l < rm_.nb; ++l) {
     r.phi[l] = dubinerTet(l, cfg_.degree, r.xi);
   }
-  receivers_.push_back(std::move(r));
-  const int id = static_cast<int>(receivers_.size()) - 1;
-  receiversOfElement_[elem].push_back(id);
+  state_.receivers.push_back(std::move(r));
+  const int id = static_cast<int>(state_.receivers.size()) - 1;
+  state_.receiversOfElement[elem].push_back(id);
   return id;
 }
 
@@ -385,395 +283,10 @@ real Simulation::macroDt() const {
   return clusters_.dtMin * static_cast<real>(clusters_.ticksPerMacro());
 }
 
-void Simulation::predictor(int elem) {
-  const int c = clusters_.cluster[elem];
-  const real dt = clusters_.dtMin * static_cast<real>(clusters_.spanOf(c));
-  real* scratch = threadScratch();
-  aderPredictor(rm_, starT_.data() + static_cast<std::size_t>(elem) * 3 *
-                         kNumQuantities * kNumQuantities,
-                dofsOf(elem), stackOf(elem), scratch);
-  taylorIntegrate(rm_, stackOf(elem), 0.0, dt, tIntOf(elem));
-}
-
-void Simulation::corrector(int elem, std::int64_t tick) {
-  const int c = clusters_.cluster[elem];
-  const std::int64_t span = clusters_.spanOf(c);
-  const real dt = clusters_.dtMin * static_cast<real>(span);
-  real* scratch = threadScratch();          // nbq
-  real* scratch2 = scratch + nbq_;          // nbq (neighbour integrals)
-  real* scratchBig = scratch2 + nbq_;       // gravity/rupture traces
-  real* fluxQp = scratchBig + 2 * static_cast<std::size_t>(cfg_.degree + 1) *
-                                 rm_.nq * kNumQuantities;
-
-  real* q = dofsOf(elem);
-  volumeKernel(rm_,
-               starT_.data() + static_cast<std::size_t>(elem) * 3 *
-                   kNumQuantities * kNumQuantities,
-               tIntOf(elem), q, scratch);
-
-  const int stride = kNumQuantities * kNumQuantities;
-  for (int f = 0; f < 4; ++f) {
-    const std::size_t idx = static_cast<std::size_t>(elem) * 4 + f;
-    const FaceInfo& info = mesh_.faces[elem][f];
-    switch (faceKind_[idx]) {
-      case FaceKind::kRegular: {
-        surfaceKernel(rm_, rm_.fluxLocal[f], fluxMinusT_.data() + idx * stride,
-                      tIntOf(elem), q, scratch);
-        const int nb = info.neighbor;
-        const int nbCluster = clusters_.cluster[nb];
-        const real* src = nullptr;
-        if (nbCluster == c) {
-          src = tIntOf(nb);
-        } else if (nbCluster > c) {
-          // Coarser neighbour: integrate its Taylor expansion over our
-          // sub-interval of its (rate times as long) timestep.
-          const std::int64_t rel = (tick - span) % (span * clusters_.rate);
-          const real off = clusters_.dtMin * static_cast<real>(rel);
-          taylorIntegrate(rm_, stackOf(nb), off, off + dt, scratch2);
-          src = scratch2;
-        } else {
-          // Finer neighbour: its buffer accumulated both sub-intervals.
-          src = buffer_.data() + static_cast<std::size_t>(nb) * nbq_;
-        }
-        surfaceKernel(rm_,
-                      rm_.fluxNeighbor[f][info.neighborFace][info.permutation],
-                      fluxPlusT_.data() + idx * stride, src, q, scratch);
-        break;
-      }
-      case FaceKind::kBoundaryFolded:
-        surfaceKernel(rm_, rm_.fluxLocal[f], fluxMinusT_.data() + idx * stride,
-                      tIntOf(elem), q, scratch);
-        break;
-      case FaceKind::kGravity:
-        gravity_->computeFlux(faceAux_[idx], rm_, stackOf(elem), dt, fluxQp,
-                              scratchBig);
-        surfaceKernelPointwise(rm_, rm_.faceEvalTW[f], faceScale_[idx], fluxQp,
-                               q);
-        break;
-      case FaceKind::kRuptureMinus: {
-        const real* staged = ruptureFlux_.data() +
-                             static_cast<std::size_t>(faceAux_[idx]) * 2 *
-                                 rm_.nq * kNumQuantities;
-        surfaceKernelPointwise(rm_, rm_.faceEvalTW[f], faceScale_[idx], staged,
-                               q);
-        break;
-      }
-      case FaceKind::kRupturePlus: {
-        const FaultFace& ff = fault_->faceAt(faceAux_[idx]);
-        const real* staged = ruptureFlux_.data() +
-                             (static_cast<std::size_t>(faceAux_[idx]) * 2 + 1) *
-                                 rm_.nq * kNumQuantities;
-        surfaceKernelPointwise(
-            rm_,
-            rm_.faceEvalNeighborTW[ff.minusFace][ff.plusFace][ff.permutation],
-            faceScale_[idx], staged, q);
-        break;
-      }
-    }
-
-    // Seafloor uplift recorder: accumulate the vertical displacement
-    // increment (time integral of v_z on the elastic side).
-    const int sf = seafloorIndexOfFace_[idx];
-    if (sf >= 0) {
-      SeafloorFace& rec = seafloorFaces_[sf];
-      const real* ti = tIntOf(elem);
-      for (int i = 0; i < rm_.nq; ++i) {
-        real dz = 0;
-        for (int l = 0; l < rm_.nb; ++l) {
-          dz += rm_.faceEval[f](i, l) * ti[l * kNumQuantities + kVz];
-        }
-        rec.uplift[i] += dz;
-      }
-    }
-  }
-
-  // Receivers hosted by this element: sample at the interval end.
-  for (int rid : receiversOfElement_[elem]) {
-    Receiver& r = receivers_[rid];
-    std::array<real, kNumQuantities> val{};
-    for (int l = 0; l < rm_.nb; ++l) {
-      for (int p = 0; p < kNumQuantities; ++p) {
-        val[p] += r.phi[l] * q[l * kNumQuantities + p];
-      }
-    }
-    r.times.push_back(clusters_.dtMin * static_cast<real>(tick));
-    r.samples.push_back(val);
-  }
-}
-
-void Simulation::predictorBatch(const ElementBatch& batch, bool reset) {
-  const int width = batch.width;
-  const int ld = kNumQuantities * batchLayout_.batchSize();
-  const int* elems = batchLayout_.elements().data() + batch.begin;
-  const std::size_t tileSize = static_cast<std::size_t>(rm_.nb) * ld;
-  real* stackTiles = threadBatchScratch();
-  real* scratchTile = stackTiles + (cfg_.degree + 1) * tileSize;
-  real* tIntTile = scratchTile + tileSize;
-  const real* negStarTB =
-      negStarTB_.data() +
-      static_cast<std::size_t>(batch.begin) * 3 * kNumQuantities *
-          kNumQuantities;
-
-  gatherTile(dofs_.data(), elems, width, rm_.nb, nbq_, ld, stackTiles);
-  batchedAderPredictor(rm_, negStarTB, stackTiles, scratchTile, width, ld);
-  const real dt =
-      clusters_.dtMin * static_cast<real>(clusters_.spanOf(batch.cluster));
-  batchedTaylorIntegrate(rm_, stackTiles, 0.0, dt, tIntTile, width, ld);
-
-  // Scatter the time integral for every lane, but the derivative stack
-  // only for elements whose stack is read outside this batch (gravity and
-  // rupture faces, coarser LTS neighbours) -- for all other elements the
-  // stack lives and dies in the tiles.
-  for (int lane = 0; lane < width; ++lane) {
-    const int e = elems[lane];
-    if (!stackNeeded_[e]) {
-      continue;
-    }
-    for (int k = 0; k <= cfg_.degree; ++k) {
-      const real* tile =
-          stackTiles + static_cast<std::size_t>(k) * tileSize +
-          static_cast<std::size_t>(lane) * kNumQuantities;
-      real* dst = stackOf(e) + static_cast<std::size_t>(k) * nbq_;
-      for (int l = 0; l < rm_.nb; ++l) {
-        std::memcpy(dst + static_cast<std::size_t>(l) * kNumQuantities,
-                    tile + static_cast<std::size_t>(l) * ld,
-                    sizeof(real) * kNumQuantities);
-      }
-    }
-  }
-  scatterTile(tIntTile, elems, width, rm_.nb, nbq_, ld, tInt_.data());
-
-  for (int lane = 0; lane < width; ++lane) {
-    const int e = elems[lane];
-    if (!hasCoarserNeighbor_[e]) {
-      continue;
-    }
-    real* buf = bufferOf(e);
-    const real* ti = tIntOf(e);
-    if (reset) {
-      std::memcpy(buf, ti, sizeof(real) * nbq_);
-    } else {
-      for (int i = 0; i < nbq_; ++i) {
-        buf[i] += ti[i];
-      }
-    }
-  }
-}
-
-void Simulation::correctorBatch(const ElementBatch& batch, std::int64_t tick) {
-  const int c = batch.cluster;
-  const std::int64_t span = clusters_.spanOf(c);
-  const real dt = clusters_.dtMin * static_cast<real>(span);
-  const int width = batch.width;
-  const int ld = kNumQuantities * batchLayout_.batchSize();
-  const int* elems = batchLayout_.elements().data() + batch.begin;
-  const std::size_t tileSize = static_cast<std::size_t>(rm_.nb) * ld;
-  const int stride = kNumQuantities * kNumQuantities;
-
-  real* dofTile = threadBatchScratch();
-  real* tIntTile = dofTile + tileSize;
-  real* faceScratch = tIntTile + tileSize;
-  // Fourth scratch tile (degree >= 1 guarantees it): per-lane contiguous
-  // nb x 9 slots holding coarser-neighbour sub-interval integrals so the
-  // neighbour-flux stage can run as one fused pass over the batch.
-  real* coarseInt = faceScratch + tileSize;
-  static thread_local std::vector<const real*> negFluxPtrs;
-  static thread_local std::vector<NeighborFluxLane> nbrLanes;
-  negFluxPtrs.resize(batchLayout_.batchSize());
-  nbrLanes.resize(batchLayout_.batchSize());
-  // Per-element scratch (neighbour integrals, gravity/rupture traces) --
-  // same regions as the reference corrector.
-  real* scratch = threadScratch();
-  real* scratch2 = scratch + nbq_;
-  real* scratchBig = scratch2 + nbq_;
-  real* fluxQp = scratchBig + 2 * static_cast<std::size_t>(cfg_.degree + 1) *
-                                 rm_.nq * kNumQuantities;
-
-  gatherTile(dofs_.data(), elems, width, rm_.nb, nbq_, ld, dofTile);
-  gatherTile(tInt_.data(), elems, width, rm_.nb, nbq_, ld, tIntTile);
-
-  const real* starTB = starTB_.data() + static_cast<std::size_t>(batch.begin) *
-                                            3 * stride;
-  batchedVolumeKernel(rm_, starTB, tIntTile, dofTile, faceScratch, width, ld);
-
-  for (int f = 0; f < 4; ++f) {
-    // (a) Per-lane pre-pass: stage the flux-solver products of regular /
-    // folded-boundary faces into the face scratch tile; apply pointwise
-    // gravity and rupture fluxes directly (their slot in each element's
-    // accumulation sequence is exactly here, matching the reference).
-    zeroTile(faceScratch, rm_.nb, kNumQuantities * width, ld);
-    for (int lane = 0; lane < width; ++lane) {
-      const BatchFaceInfo& info =
-          batchFaces_[(static_cast<std::size_t>(batch.begin) + lane) * 4 + f];
-      real* laneDofs = dofTile + static_cast<std::size_t>(lane) * kNumQuantities;
-      negFluxPtrs[lane] = nullptr;
-      switch (info.kind) {
-        case FaceKind::kRegular:
-        case FaceKind::kBoundaryFolded: {
-          // Pre-negated flux-solver matrix: the reference's negate-the-
-          // product pass is folded into the operand (bitwise-identical).
-          negFluxPtrs[lane] =
-              negFluxMinusTB_.data() +
-              ((static_cast<std::size_t>(batch.begin) + lane) * 4 + f) * stride;
-          break;
-        }
-        case FaceKind::kGravity:
-          gravity_->computeFlux(info.aux, rm_, stackOf(elems[lane]), dt,
-                                fluxQp, scratchBig);
-          surfaceKernelPointwiseStrided(rm_, rm_.faceEvalTW[f], info.scale,
-                                        fluxQp, laneDofs, ld);
-          break;
-        case FaceKind::kRuptureMinus: {
-          const real* staged = ruptureFlux_.data() +
-                               static_cast<std::size_t>(info.aux) * 2 *
-                                   rm_.nq * kNumQuantities;
-          surfaceKernelPointwiseStrided(rm_, rm_.faceEvalTW[f], info.scale,
-                                        staged, laneDofs, ld);
-          break;
-        }
-        case FaceKind::kRupturePlus: {
-          const FaultFace& ff = fault_->faceAt(info.aux);
-          const real* staged =
-              ruptureFlux_.data() +
-              (static_cast<std::size_t>(info.aux) * 2 + 1) * rm_.nq *
-                  kNumQuantities;
-          surfaceKernelPointwiseStrided(
-              rm_,
-              rm_.faceEvalNeighborTW[ff.minusFace][ff.plusFace][ff.permutation],
-              info.scale, staged, laneDofs, ld);
-          break;
-        }
-      }
-
-      // Seafloor uplift recorder (identical to the reference corrector;
-      // reads only this element's time integral).
-      if (info.seafloor >= 0) {
-        SeafloorFace& rec = seafloorFaces_[info.seafloor];
-        const real* ti = tIntOf(elems[lane]);
-        for (int i = 0; i < rm_.nq; ++i) {
-          real dz = 0;
-          for (int l = 0; l < rm_.nb; ++l) {
-            dz += rm_.faceEval[f](i, l) * ti[l * kNumQuantities + kVz];
-          }
-          rec.uplift[i] += dz;
-        }
-      }
-    }
-    batchedLocalFluxStage(rm_.nb, width, ld, tIntTile, negFluxPtrs.data(),
-                          faceScratch);
-
-    // (b) One blocked GEMM per run of consecutive regular/boundary lanes:
-    // dofs -= fluxLocal[f] * staged flux products.
-    int lane = 0;
-    while (lane < width) {
-      const auto kindOf = [&](int l) {
-        return batchFaces_[(static_cast<std::size_t>(batch.begin) + l) * 4 + f]
-            .kind;
-      };
-      if (kindOf(lane) != FaceKind::kRegular &&
-          kindOf(lane) != FaceKind::kBoundaryFolded) {
-        ++lane;
-        continue;
-      }
-      int end = lane + 1;
-      while (end < width && (kindOf(end) == FaceKind::kRegular ||
-                             kindOf(end) == FaceKind::kBoundaryFolded)) {
-        ++end;
-      }
-      gemmAccStrided(rm_.nb, kNumQuantities * (end - lane), rm_.nb,
-                     rm_.fluxLocal[f].data(), rm_.nb,
-                     faceScratch + static_cast<std::size_t>(lane) *
-                                       kNumQuantities,
-                     ld,
-                     dofTile + static_cast<std::size_t>(lane) * kNumQuantities,
-                     ld);
-      lane = end;
-    }
-
-    // (c) Neighbour contributions of regular faces: resolve each lane's
-    // time-integral source (integrating coarser neighbours into this
-    // lane's contiguous coarseInt slot), then run the whole batch through
-    // one fused per-lane GEMM pass.
-    for (int lane2 = 0; lane2 < width; ++lane2) {
-      const BatchFaceInfo& info =
-          batchFaces_[(static_cast<std::size_t>(batch.begin) + lane2) * 4 + f];
-      NeighborFluxLane& ln = nbrLanes[lane2];
-      if (info.kind != FaceKind::kRegular) {
-        ln.src = nullptr;
-        continue;
-      }
-      if (info.relation == 0) {
-        ln.src = tIntOf(info.neighbor);
-      } else if (info.relation == 1) {
-        // Coarser neighbour: integrate its Taylor expansion over our
-        // sub-interval of its (rate times as long) timestep.
-        const std::int64_t rel = (tick - span) % (span * clusters_.rate);
-        const real off = clusters_.dtMin * static_cast<real>(rel);
-        real* slot = coarseInt + static_cast<std::size_t>(lane2) * nbq_;
-        taylorIntegrate(rm_, stackOf(info.neighbor), off, off + dt, slot);
-        ln.src = slot;
-      } else {
-        // Finer neighbour: its buffer accumulated both sub-intervals.
-        ln.src =
-            buffer_.data() + static_cast<std::size_t>(info.neighbor) * nbq_;
-      }
-      ln.negFluxPlusT =
-          negFluxPlusTB_.data() +
-          ((static_cast<std::size_t>(batch.begin) + lane2) * 4 + f) * stride;
-      ln.fluxNeighbor =
-          rm_.fluxNeighbor[f][info.neighborFace][info.permutation].data();
-    }
-    batchedNeighborFluxStage(rm_.nb, width, ld, nbrLanes.data(), scratch,
-                             dofTile);
-  }
-
-  scatterTile(dofTile, elems, width, rm_.nb, nbq_, ld, dofs_.data());
-
-  // Receivers hosted by elements of this batch: sample at the interval end.
-  for (int lane = 0; lane < width; ++lane) {
-    const int e = elems[lane];
-    const real* q = dofsOf(e);
-    for (int rid : receiversOfElement_[e]) {
-      Receiver& r = receivers_[rid];
-      std::array<real, kNumQuantities> val{};
-      for (int l = 0; l < rm_.nb; ++l) {
-        for (int p = 0; p < kNumQuantities; ++p) {
-          val[p] += r.phi[l] * q[l * kNumQuantities + p];
-        }
-      }
-      r.times.push_back(clusters_.dtMin * static_cast<real>(tick));
-      r.samples.push_back(val);
-    }
-  }
-}
-
-void Simulation::computeRuptureFluxes(int clusterId, real dt,
-                                      real stepStartTime) {
-  if (!fault_) {
-    return;
-  }
-  const int nf = fault_->numFaces();
-  ompFor(static_cast<std::size_t>(nf), cfg_.deterministic, 32,
-         [&](std::size_t i) {
-    const FaultFace& ff = fault_->faceAt(static_cast<int>(i));
-    if (clusters_.cluster[ff.minusElem] != clusterId) {
-      return;
-    }
-    real* scratch = threadScratch();
-    real* traces = scratch + 2 * nbq_;
-    real* fm = ruptureFlux_.data() +
-               static_cast<std::size_t>(i) * 2 * rm_.nq * kNumQuantities;
-    real* fp = fm + rm_.nq * kNumQuantities;
-    fault_->computeFluxes(static_cast<int>(i), rm_, stackOf(ff.minusElem),
-                          stackOf(ff.plusElem), dt, stepStartTime, fm, fp,
-                          traces);
-  });
-}
-
 void Simulation::advanceTo(real tEnd) {
   // Guard: meshes with tagged rupture faces need a configured fault.
   if (!fault_) {
-    for (const auto& kinds : faceKind_) {
+    for (const auto& kinds : state_.faceKind) {
       if (kinds == FaceKind::kRuptureMinus) {
         throw std::logic_error(
             "advanceTo: mesh has dynamic-rupture faces but setupFault() was "
@@ -781,101 +294,21 @@ void Simulation::advanceTo(real tEnd) {
       }
     }
   }
-  const bool batched = cfg_.kernelPath == KernelPath::kBatched;
-  if (batched) {
-    ensureBatchLayout();
-  }
-  const std::int64_t ticksPerMacro = clusters_.ticksPerMacro();
+  backend_->prepare();
   const real eps = 1e-12 * std::max(real(1), tEnd);
   while (time_ < tEnd - eps) {
-    for (std::int64_t step = 0; step < ticksPerMacro; ++step) {
-      // Predictor phase at the current tick.
-      for (int c = 0; c < clusters_.numClusters; ++c) {
-        const std::int64_t span = clusters_.spanOf(c);
-        if (tick_ % span != 0) {
-          continue;
-        }
-        const auto& elems = clusters_.elementsOfCluster[c];
-        // The coarser neighbour consumes the buffer once per `rate` of our
-        // steps; restart the accumulation at its step boundaries.
-        const bool reset = tick_ % (span * clusters_.rate) == 0;
-        if (perf_) {
-          perf_->beginPhase(Phase::kPredictor, c);
-        }
-        if (batched) {
-          const int b0 = batchLayout_.firstBatchOfCluster(c);
-          const int b1 = batchLayout_.endBatchOfCluster(c);
-          ompFor(static_cast<std::size_t>(b1 - b0), cfg_.deterministic, 1,
-                 [&](std::size_t k) {
-            predictorBatch(batchLayout_.batches()[b0 + k], reset);
-          });
-        } else {
-          ompFor(elems.size(), cfg_.deterministic, 32, [&](std::size_t k) {
-            const int e = elems[k];
-            predictor(e);
-            if (hasCoarserNeighbor_[e]) {
-              real* buf = bufferOf(e);
-              const real* ti = tIntOf(e);
-              if (reset) {
-                std::memcpy(buf, ti, sizeof(real) * nbq_);
-              } else {
-                for (int i = 0; i < nbq_; ++i) {
-                  buf[i] += ti[i];
-                }
-              }
-            }
-          });
-        }
-        if (perf_) {
-          perf_->endPhase(Phase::kPredictor, c, elems.size(),
-                          elems.size() * predictorBytesPerElement());
-        }
-      }
-      ++tick_;
-      // Corrector phase for intervals ending at the new tick.
-      for (int c = 0; c < clusters_.numClusters; ++c) {
-        const std::int64_t span = clusters_.spanOf(c);
-        if (tick_ % span != 0) {
-          continue;
-        }
-        const real dt = clusters_.dtMin * static_cast<real>(span);
-        const std::uint64_t faultFaces =
-            fault_ ? static_cast<std::uint64_t>(faultFacesOfCluster_[c]) : 0;
-        if (perf_) {
-          perf_->beginPhase(Phase::kRuptureFlux, c);
-        }
-        computeRuptureFluxes(c, dt,
-                             clusters_.dtMin * static_cast<real>(tick_ - span));
-        if (perf_) {
-          perf_->endPhase(Phase::kRuptureFlux, c, faultFaces,
-                          faultFaces * ruptureBytesPerFace());
-          perf_->beginPhase(Phase::kCorrector, c);
-        }
-        const auto& elems = clusters_.elementsOfCluster[c];
-        if (batched) {
-          const int b0 = batchLayout_.firstBatchOfCluster(c);
-          const int b1 = batchLayout_.endBatchOfCluster(c);
-          ompFor(static_cast<std::size_t>(b1 - b0), cfg_.deterministic, 1,
-                 [&](std::size_t k) {
-            correctorBatch(batchLayout_.batches()[b0 + k], tick_);
-          });
-        } else {
-          ompFor(elems.size(), cfg_.deterministic, 32, [&](std::size_t k) {
-            corrector(elems[k], tick_);
-          });
-        }
-        if (perf_) {
-          perf_->endPhase(Phase::kCorrector, c, elems.size(),
-                          elems.size() * correctorBytesPerElement());
-        }
-        elementUpdates_ += elems.size();
-      }
-    }
-    time_ = clusters_.dtMin * static_cast<real>(tick_);
+    scheduler_->runMacroCycle(perf_.get());
+    time_ = clusters_.dtMin * static_cast<real>(scheduler_->tick());
     for (const auto& cb : macroCallbacks_) {
       cb(time_);
     }
   }
+}
+
+const ClusterBatchLayout& Simulation::batchLayout() const {
+  static const ClusterBatchLayout kEmpty;
+  const ClusterBatchLayout* layout = backend_->batchLayout();
+  return layout ? *layout : kEmpty;
 }
 
 PerfMonitor& Simulation::enablePerfMonitor(bool withTrace) {
@@ -891,15 +324,15 @@ PerfMonitor& Simulation::enablePerfMonitor(bool withTrace) {
 PerfReportMeta Simulation::perfReportMeta(const std::string& scenario) const {
   PerfReportMeta meta;
   meta.scenario = scenario;
-  meta.kernelPath =
-      cfg_.kernelPath == KernelPath::kBatched ? "batched" : "reference";
+  meta.kernelPath = kernelPathName(cfg_.kernelPath);
+  meta.backend = backend_->name();
+  meta.isa = backend_->isa();
   meta.degree = cfg_.degree;
   meta.threads = omp_get_max_threads();
-  meta.batchSize = batchLayoutReady_ ? batchLayout_.batchSize()
-                                     : autoBatchSize(rm_.nb, cfg_.degree);
+  meta.batchSize = backend_->reportBatchSize();
   meta.elements = mesh_.numElements();
   meta.ltsRate = clusters_.rate;
-  meta.elementUpdates = elementUpdates_;
+  meta.elementUpdates = scheduler_->elementUpdates();
   meta.simulatedSeconds = time_;
   for (int c = 0; c < clusters_.numClusters; ++c) {
     PerfClusterInfo info;
@@ -912,36 +345,10 @@ PerfReportMeta Simulation::perfReportMeta(const std::string& scenario) const {
   return meta;
 }
 
-// Analytic main-memory traffic models (streamed arrays only; reference
-// matrices and flux solvers are shared and presumed cache-resident).
-std::uint64_t Simulation::predictorBytesPerElement() const {
-  // Read dofs + starT, write derivative stack + time integral (+ buffer).
-  const std::uint64_t nbq = static_cast<std::uint64_t>(nbq_);
-  return sizeof(real) *
-         (nbq + 3ull * kNumQuantities * kNumQuantities +
-          nbq * (cfg_.degree + 1) + 2ull * nbq);
-}
-
-std::uint64_t Simulation::correctorBytesPerElement() const {
-  // Read tInt + starT + 8 flux solvers + 4 neighbour sources; r/w dofs.
-  const std::uint64_t nbq = static_cast<std::uint64_t>(nbq_);
-  return sizeof(real) *
-         (nbq + 11ull * kNumQuantities * kNumQuantities + 4ull * nbq +
-          2ull * nbq);
-}
-
-std::uint64_t Simulation::ruptureBytesPerFace() const {
-  // Read both derivative stacks, write both staged flux traces.
-  const std::uint64_t nbq = static_cast<std::uint64_t>(nbq_);
-  return sizeof(real) * (2ull * nbq * (cfg_.degree + 1) +
-                         2ull * static_cast<std::uint64_t>(rm_.nq) *
-                             kNumQuantities);
-}
-
 std::array<real, kNumQuantities> Simulation::evaluate(int elem,
                                                       const Vec3& xi) const {
   std::array<real, kNumQuantities> val{};
-  const real* q = dofsOf(elem);
+  const real* q = state_.dofsOf(elem);
   for (int l = 0; l < rm_.nb; ++l) {
     const real phi = dubinerTet(l, cfg_.degree, xi);
     for (int p = 0; p < kNumQuantities; ++p) {
@@ -1008,16 +415,17 @@ std::uint64_t Simulation::configHash() const {
 }
 
 void Simulation::saveCheckpoint(const std::string& path) const {
-  if (clusters_.numClusters > 0 && tick_ % clusters_.ticksPerMacro() != 0) {
+  if (clusters_.numClusters > 0 &&
+      scheduler_->tick() % clusters_.ticksPerMacro() != 0) {
     throw std::logic_error(
         "saveCheckpoint: state is only consistent at macro-cycle "
         "boundaries (call between advanceTo calls or from onMacroStep)");
   }
   BinaryWriter w;
-  w.writeI64(tick_);
+  w.writeI64(scheduler_->tick());
   w.writeReal(time_);
-  w.writeU64(elementUpdates_);
-  w.writeRealVec(dofs_);
+  w.writeU64(scheduler_->elementUpdates());
+  w.writeRealVec(state_.dofs);
   w.writeU32(gravity_ ? 1 : 0);
   if (gravity_) {
     gravity_->saveState(w);
@@ -1026,12 +434,12 @@ void Simulation::saveCheckpoint(const std::string& path) const {
   if (fault_) {
     fault_->saveState(w);
   }
-  w.writeU64(seafloorFaces_.size());
-  for (const auto& sf : seafloorFaces_) {
+  w.writeU64(state_.seafloorFaces.size());
+  for (const auto& sf : state_.seafloorFaces) {
     w.writeRealVec(sf.uplift);
   }
-  w.writeU64(receivers_.size());
-  for (const auto& r : receivers_) {
+  w.writeU64(state_.receivers.size());
+  for (const auto& r : state_.receivers) {
     w.writeString(r.name);
     w.writeRealVec(r.times);
     w.writeU64(r.samples.size());
@@ -1076,7 +484,7 @@ void Simulation::restoreCheckpoint(const std::string& path) {
   const real time = r.readReal();
   const std::uint64_t updates = r.readU64();
   std::vector<real> dofs = r.readRealVec();
-  if (dofs.size() != dofs_.size()) {
+  if (dofs.size() != state_.dofs.size()) {
     throw CheckpointError("checkpoint " + path + ": DOF count mismatch");
   }
   const bool hasGravity = r.readU32() != 0;
@@ -1098,11 +506,11 @@ void Simulation::restoreCheckpoint(const std::string& path) {
     fault_->restoreState(r);
   }
   const std::uint64_t nSeafloor = r.readU64();
-  if (nSeafloor != seafloorFaces_.size()) {
+  if (nSeafloor != state_.seafloorFaces.size()) {
     throw CheckpointError("checkpoint " + path +
                           ": seafloor face count mismatch");
   }
-  for (auto& sf : seafloorFaces_) {
+  for (auto& sf : state_.seafloorFaces) {
     std::vector<real> uplift = r.readRealVec();
     if (uplift.size() != sf.uplift.size()) {
       throw CheckpointError("checkpoint " + path +
@@ -1111,14 +519,14 @@ void Simulation::restoreCheckpoint(const std::string& path) {
     sf.uplift = std::move(uplift);
   }
   const std::uint64_t nReceivers = r.readU64();
-  if (nReceivers != receivers_.size()) {
+  if (nReceivers != state_.receivers.size()) {
     throw CheckpointError(
         "checkpoint " + path + ": receiver count mismatch (file " +
         std::to_string(nReceivers) + ", live " +
-        std::to_string(receivers_.size()) +
+        std::to_string(state_.receivers.size()) +
         "); register the same receivers before restoring");
   }
-  for (auto& rec : receivers_) {
+  for (auto& rec : state_.receivers) {
     const std::string name = r.readString();
     if (name != rec.name) {
       throw CheckpointError("checkpoint " + path +
@@ -1139,13 +547,12 @@ void Simulation::restoreCheckpoint(const std::string& path) {
   // time integrals, LTS buffers) are all recomputed by the predictor phase
   // at the start of the next macro cycle before anything reads them; zero
   // them anyway so a restored run never observes pre-restore garbage.
-  tick_ = tick;
+  scheduler_->restoreClock(tick, updates);
   time_ = time;
-  elementUpdates_ = updates;
-  dofs_ = std::move(dofs);
-  std::fill(stack_.begin(), stack_.end(), 0.0);
-  std::fill(tInt_.begin(), tInt_.end(), 0.0);
-  std::fill(buffer_.begin(), buffer_.end(), 0.0);
+  state_.dofs = std::move(dofs);
+  std::fill(state_.stack.begin(), state_.stack.end(), 0.0);
+  std::fill(state_.tInt.begin(), state_.tInt.end(), 0.0);
+  std::fill(state_.buffer.begin(), state_.buffer.end(), 0.0);
 }
 
 int Simulation::firstNonFiniteElement() const {
@@ -1153,8 +560,8 @@ int Simulation::firstNonFiniteElement() const {
   int first = n;
 #pragma omp parallel for schedule(static) reduction(min : first)
   for (int e = 0; e < n; ++e) {
-    const real* q = dofsOf(e);
-    for (int i = 0; i < nbq_; ++i) {
+    const real* q = state_.dofsOf(e);
+    for (int i = 0; i < state_.nbq; ++i) {
       if (!std::isfinite(q[i])) {
         first = std::min(first, e);
         break;
@@ -1165,7 +572,7 @@ int Simulation::firstNonFiniteElement() const {
 }
 
 void Simulation::debugInjectNonFinite(int elem) {
-  dofsOf(elem)[0] = std::numeric_limits<real>::quiet_NaN();
+  state_.dofsOf(elem)[0] = std::numeric_limits<real>::quiet_NaN();
 }
 
 std::vector<SurfaceSample> Simulation::seaSurface() const {
@@ -1177,7 +584,7 @@ std::vector<SurfaceSample> Simulation::seaSurface() const {
 
 std::vector<SeafloorSample> Simulation::seafloor() const {
   std::vector<SeafloorSample> out;
-  for (const auto& sf : seafloorFaces_) {
+  for (const auto& sf : state_.seafloorFaces) {
     for (int i = 0; i < rm_.nq; ++i) {
       out.push_back({sf.qpX[i], sf.qpY[i], sf.uplift[i]});
     }

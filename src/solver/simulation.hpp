@@ -1,16 +1,25 @@
 #pragma once
 
 // The fully-coupled elastic-acoustic ADER-DG solver with gravity and
-// dynamic rupture -- the paper's core contribution, orchestrated:
+// dynamic rupture -- the paper's core contribution, split into three
+// layers:
 //
+//  * Simulation (this file): lifecycle glue -- mesh/material setup,
+//    configuration, receivers, checkpoint/restart, run health, perf
+//    report metadata;
+//  * ClusterScheduler (solver/cluster_scheduler.*): the rate-r clustered
+//    local-time-stepping macro cycle (Sec. 4.4) and OpenMP work
+//    distribution over each phase's tiles;
+//  * KernelBackend (kernels/backends/): the predictor / volume / surface
+//    / corrector stage kernels over the backend's data layout
+//    (reference, batched, fast -- see common/kernel_path.hpp).
+//
+// Physics orchestrated across the layers:
 //  * ADER space-time predictor per element (Sec. 4.1),
 //  * exact-Riemann (Godunov) fluxes with elastic-acoustic coupling
 //    (Sec. 4.2), precomputed as per-face 9x9 matrices,
 //  * gravitational free surface via a boundary ODE (Sec. 4.3),
-//  * dynamic rupture with LSW / rate-and-state friction,
-//  * rate-2 clustered local time stepping with the buffers/derivatives
-//    scheme (Sec. 4.4); OpenMP-parallel loops over each time cluster
-//    (Sec. 5.2's bulk-synchronous cluster loops).
+//  * dynamic rupture with LSW / rate-and-state friction.
 
 #include <array>
 #include <cstdint>
@@ -22,53 +31,18 @@
 #include "geometry/mesh.hpp"
 #include "geometry/spatial_index.hpp"
 #include "gravity/gravity_surface.hpp"
+#include "kernels/backends/kernel_backend.hpp"
 #include "kernels/batch_layout.hpp"
 #include "kernels/reference_matrices.hpp"
 #include "perf/perf_monitor.hpp"
 #include "physics/material.hpp"
 #include "rupture/fault_solver.hpp"
+#include "solver/cluster_scheduler.hpp"
 #include "solver/receivers.hpp"
+#include "solver/solver_config.hpp"
 #include "solver/time_clusters.hpp"
 
 namespace tsg {
-
-/// Which stepping pipeline executes the element kernels.  Both produce
-/// bitwise-identical results (tests/test_batched_kernels.cpp); kBatched
-/// fuses each time cluster's elements into blocked GEMMs over
-/// cluster-contiguous tiles and is the fast default, kReference is the
-/// one-element-at-a-time implementation kept as the readable oracle.
-enum class KernelPath {
-  kReference,
-  kBatched,
-};
-
-struct SolverConfig {
-  int degree = 2;
-  real cflFraction = 0.35;  // C(N) = cflFraction / (2N+1), the paper's choice
-  real gravity = 9.81;      // 0 disables the gravitational surface term
-  int ltsRate = 2;          // clustered LTS rate (cluster c: dt_min*rate^c),
-                            // 1 = global time stepping
-  int maxClusters = 12;
-  FrictionLawType frictionLaw = FrictionLawType::kLinearSlipWeakening;
-  // Force bitwise-reproducible stepping across OpenMP thread counts:
-  // static loop schedules instead of dynamic work stealing.  Element
-  // updates write disjoint state in a fixed per-element operation order,
-  // so results are reproducible either way; `deterministic` pins the
-  // traversal so that reproducibility no longer depends on that disjointness
-  // argument holding for future solver extensions.
-  bool deterministic = false;
-  // Kernel pipeline selection.  Like `deterministic`, these change the
-  // execution strategy but not the results or the state layout, so they
-  // are deliberately excluded from configHash(): checkpoints are
-  // interchangeable between the two paths.
-  KernelPath kernelPath = KernelPath::kBatched;
-  int batchSize = 0;  // elements per batch tile; <= 0 selects an L2-sized
-                      // default (see autoBatchSize)
-};
-
-/// q(x, material) -> initial state.
-using InitialCondition =
-    std::function<std::array<real, kNumQuantities>(const Vec3&, int material)>;
 
 struct SeafloorSample {
   real x, y;
@@ -100,7 +74,7 @@ class Simulation {
   void advanceTo(real tEnd);
   real time() const { return time_; }
   /// Completed dtMin ticks (time() == tick() * dtMin()).
-  std::int64_t tick() const { return tick_; }
+  std::int64_t tick() const { return scheduler_->tick(); }
   real dtMin() const { return clusters_.dtMin; }
   real macroDt() const;
 
@@ -117,8 +91,10 @@ class Simulation {
   const ClusterLayout& clusters() const { return clusters_; }
   const GravityBoundary* gravitySurface() const { return gravity_.get(); }
   const FaultSolver* fault() const { return fault_.get(); }
-  const Receiver& receiver(int i) const { return receivers_[i]; }
-  int numReceivers() const { return static_cast<int>(receivers_.size()); }
+  const Receiver& receiver(int i) const { return state_.receivers[i]; }
+  int numReceivers() const {
+    return static_cast<int>(state_.receivers.size());
+  }
 
   /// Sea-surface displacement samples (empty without gravity faces).
   std::vector<SurfaceSample> seaSurface() const;
@@ -126,7 +102,10 @@ class Simulation {
   std::vector<SeafloorSample> seafloor() const;
 
   /// Completed element updates (the LTS time-to-solution metric).
-  std::uint64_t elementUpdates() const { return elementUpdates_; }
+  std::uint64_t elementUpdates() const { return scheduler_->elementUpdates(); }
+
+  /// The stage-execution backend selected by cfg.kernelPath.
+  const KernelBackend& backend() const { return *backend_; }
 
   // ---- performance observability --------------------------------------
   /// Start recording per-phase x per-cluster wall time, FLOPs, and
@@ -141,9 +120,10 @@ class Simulation {
 
   /// Raw modal coefficients ([element][nb][9]); read-only, used by the
   /// kernel-equivalence and relayout property tests.
-  const std::vector<real>& dofsData() const { return dofs_; }
-  /// Cluster-contiguous batch layout (built on first batched advance).
-  const ClusterBatchLayout& batchLayout() const { return batchLayout_; }
+  const std::vector<real>& dofsData() const { return state_.dofs; }
+  /// Cluster-contiguous batch layout of tile-based backends (built on
+  /// first advance; empty for the reference backend).
+  const ClusterBatchLayout& batchLayout() const;
 
   // ---- checkpoint / restart -------------------------------------------
   /// Serialize the full mutable solver state (DOFs, clock, sea-surface
@@ -176,129 +156,33 @@ class Simulation {
   const Material& materialOf(int elem) const { return elemMaterial_[elem]; }
 
  private:
-  enum class FaceKind : std::uint8_t {
-    kRegular,
-    kBoundaryFolded,  // free surface / absorbing via a single flux matrix
-    kGravity,
-    kRuptureMinus,
-    kRupturePlus,
-  };
-
   void setupElementData();
   void setupFaces();
-  void predictor(int elem);
-  void corrector(int elem, std::int64_t tick);
-  void computeRuptureFluxes(int clusterId, real dt, real stepStartTime);
-
-  // Batched pipeline: cluster-contiguous relayout + per-batch kernels.
-  void ensureBatchLayout();
-  void predictorBatch(const ElementBatch& batch, bool reset);
-  void correctorBatch(const ElementBatch& batch, std::int64_t tick);
-
-  // Analytic main-memory traffic models for the perf report [bytes/elem].
-  std::uint64_t predictorBytesPerElement() const;
-  std::uint64_t correctorBytesPerElement() const;
-  std::uint64_t ruptureBytesPerFace() const;
-
-  real* dofsOf(int e) { return dofs_.data() + static_cast<std::size_t>(e) * nbq_; }
-  const real* dofsOf(int e) const {
-    return dofs_.data() + static_cast<std::size_t>(e) * nbq_;
-  }
-  real* stackOf(int e) {
-    return stack_.data() + static_cast<std::size_t>(e) * nbq_ * (cfg_.degree + 1);
-  }
-  const real* stackOf(int e) const {
-    return stack_.data() + static_cast<std::size_t>(e) * nbq_ * (cfg_.degree + 1);
-  }
-  real* tIntOf(int e) { return tInt_.data() + static_cast<std::size_t>(e) * nbq_; }
-  const real* tIntOf(int e) const {
-    return tInt_.data() + static_cast<std::size_t>(e) * nbq_;
-  }
-  real* bufferOf(int e) {
-    return buffer_.data() + static_cast<std::size_t>(e) * nbq_;
-  }
 
   Mesh mesh_;
   std::vector<Material> materialTable_;
   std::vector<Material> elemMaterial_;
   SolverConfig cfg_;
   const ReferenceMatrices& rm_;
-  int nbq_ = 0;  // nb * 9
-
   ClusterLayout clusters_;
+
   real time_ = 0;
-  std::int64_t tick_ = 0;
 
-  // Per-element state.
-  std::vector<real> dofs_, stack_, tInt_, buffer_;
-  std::vector<real> starT_;  // [elem][3][81], transposed star matrices
-  std::vector<std::uint8_t> hasCoarserNeighbor_;
-
-  // Per-face data.
-  std::vector<FaceKind> faceKind_;        // [elem*4+f]
-  std::vector<real> fluxMinusT_;          // [elem*4+f][81], pre-scaled
-  std::vector<real> fluxPlusT_;           // [elem*4+f][81], pre-scaled
-  std::vector<int> faceAux_;              // gravity/rupture index per face
-  std::vector<real> faceScale_;           // 2 A_f / |J|
+  // Shared solver state operated on by the backends and the scheduler
+  // (kernels/backends/solver_state.hpp); Simulation fills it during setup.
+  SolverState state_;
 
   std::unique_ptr<GravityBoundary> gravity_;
   std::unique_ptr<FaultSolver> fault_;
-  std::vector<real> ruptureFlux_;  // [face][2][nq*9] staging buffers
-  std::vector<std::int64_t> faultFacesOfCluster_;  // rupture-phase workload
 
-  // ---- batched pipeline state (kernelPath == kBatched) -----------------
-  // Static per-element data relaid out cluster-contiguously at the first
-  // batched advance (after setupFault, which assigns rupture faceAux_).
-  struct BatchFaceInfo {
-    FaceKind kind = FaceKind::kRegular;
-    std::uint8_t neighborFace = 0, permutation = 0;
-    // Neighbor cluster relation: 0 same cluster, 1 coarser, 2 finer.
-    std::uint8_t relation = 0;
-    int neighbor = -1;   // mesh element id
-    int aux = -1;        // gravity/rupture face index
-    int seafloor = -1;   // seafloorFaces_ index
-    real scale = 0;
-  };
-  ClusterBatchLayout batchLayout_;
-  std::vector<BatchFaceInfo> batchFaces_;  // [orderedElem*4 + f]
-  std::vector<real> starTB_;               // [orderedElem][3][81]
-  std::vector<real> negStarTB_;            // -starTB_ (predictor operand)
-  std::vector<real> negFluxMinusTB_;       // [orderedElem*4+f][81], negated
-  std::vector<real> negFluxPlusTB_;        // [orderedElem*4+f][81], negated
-  // Mesh elements whose derivative stack is read outside their own
-  // predictor (gravity/rupture faces, coarser LTS neighbours): only these
-  // lanes scatter the stack tiles back to per-element storage.
-  std::vector<std::uint8_t> stackNeeded_;  // [mesh elem]
-  bool batchLayoutReady_ = false;
-
+  std::unique_ptr<KernelBackend> backend_;
+  std::unique_ptr<ClusterScheduler> scheduler_;
   std::unique_ptr<PerfMonitor> perf_;
 
-  // Seafloor uplift recorder (elastic side of elastic-acoustic faces).
-  struct SeafloorFace {
-    int elem, face;
-    std::vector<real> uplift;      // [nq]
-    std::vector<real> qpX, qpY;
-  };
-  std::vector<SeafloorFace> seafloorFaces_;
-  std::vector<int> seafloorIndexOfFace_;  // [elem*4+f] or -1
-
-  std::vector<Receiver> receivers_;
-  std::vector<std::vector<int>> receiversOfElement_;
-
   std::vector<std::function<void(real)>> macroCallbacks_;
-  std::uint64_t elementUpdates_ = 0;
 
   // Point-location acceleration for findElement / addReceiver.
   std::unique_ptr<SpatialIndex> spatialIndex_;
-
-  // Per-thread scratch, held in thread-local storage so it is valid for
-  // any thread that enters a kernel, regardless of how the OpenMP thread
-  // count changes after construction.
-  std::size_t scratchSize_ = 0;
-  real* threadScratch();
-  // Tile scratch of the batched pipeline ((degree+3) tiles of nb*9*B).
-  std::size_t batchScratchSize_ = 0;
-  real* threadBatchScratch();
 };
 
 }  // namespace tsg

@@ -6,7 +6,7 @@
 // matrix applied to the wrong lane) degrades the measured order long
 // before it produces NaNs -- so the suite fails if the least-squares
 // slope of log(error) vs log(h) drops below N + 0.5, for two polynomial
-// degrees and BOTH kernel paths.
+// degrees and ALL kernel paths (reference, batched, fast).
 
 #include <cmath>
 #include <vector>
@@ -66,10 +66,8 @@ void expectOrder(AnalyticCase (*makeCase)(int), int degree, KernelPath path) {
   // for pre-asymptotic effects on these coarse meshes.
   const real order = fitOrder(pts);
   EXPECT_GE(order, degree + 0.5)
-      << "degree " << degree
-      << (path == KernelPath::kBatched ? " batched" : " reference")
-      << ": errors " << pts[0].error << " " << pts[1].error << " "
-      << pts[2].error;
+      << "degree " << degree << " " << kernelPathName(path) << ": errors "
+      << pts[0].error << " " << pts[1].error << " " << pts[2].error;
 }
 
 TEST(ConvergenceOrder, AcousticDegree2Batched) {
@@ -80,12 +78,20 @@ TEST(ConvergenceOrder, AcousticDegree2Reference) {
   expectOrder(acousticStandingWaveCase, 2, KernelPath::kReference);
 }
 
+TEST(ConvergenceOrder, AcousticDegree2Fast) {
+  expectOrder(acousticStandingWaveCase, 2, KernelPath::kFast);
+}
+
 TEST(ConvergenceOrder, ElasticDegree3Batched) {
   expectOrder(elasticStandingWaveCase, 3, KernelPath::kBatched);
 }
 
 TEST(ConvergenceOrder, ElasticDegree3Reference) {
   expectOrder(elasticStandingWaveCase, 3, KernelPath::kReference);
+}
+
+TEST(ConvergenceOrder, ElasticDegree3Fast) {
+  expectOrder(elasticStandingWaveCase, 3, KernelPath::kFast);
 }
 
 // The two pipelines must not merely both converge -- on identical input
@@ -96,6 +102,10 @@ TEST(ConvergenceOrder, PathsAgreeOnError) {
   const real eb = runCase(c, 2, KernelPath::kBatched, 0.1);
   const real er = runCase(c, 2, KernelPath::kReference, 0.1);
   EXPECT_NEAR(eb, er, 1e-12 * (1 + std::abs(er)));
+  // The fast path forbids FMA contraction but is otherwise the same
+  // discretisation: same error to its 1e-9 accuracy contract.
+  const real ef = runCase(c, 2, KernelPath::kFast, 0.1);
+  EXPECT_NEAR(ef, er, 1e-9 * (1 + std::abs(er)));
 }
 
 }  // namespace

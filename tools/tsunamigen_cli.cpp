@@ -56,7 +56,9 @@ keep_checkpoints    = 3            # checkpoint files retained (rotation)
 resume              =              # path to a checkpoint to restart from
 health_check        = true         # NaN/Inf + energy blow-up monitor per macro cycle
 max_energy_growth   = 100.0        # allowed energy growth factor per macro cycle
-kernel_path         = batched      # batched (fused cluster tiles) | reference (per element)
+kernel_path         = batched      # reference (per element) | batched (fused cluster
+                                   # tiles, bitwise == reference) | fast (per-ISA SIMD
+                                   # kernels, runtime cpuid dispatch, ~1e-9 vs reference)
 # batch_size        = 0            # elements per batch tile; 0 = auto L2-sized (expert)
 # cfl_fraction      = 0.35         # override the CFL fraction (expert)
 )";
@@ -102,12 +104,11 @@ CliOptions readOptions(const ConfigFile& cfg) {
   o.maxEnergyGrowth = cfg.getNumber("max_energy_growth", 100.0);
   o.cflFraction = cfg.getNumber("cfl_fraction", 0.0);
   const std::string kernelPath = cfg.getString("kernel_path", "batched");
-  if (kernelPath == "batched") {
-    o.kernelPath = KernelPath::kBatched;
-  } else if (kernelPath == "reference") {
-    o.kernelPath = KernelPath::kReference;
+  if (const auto parsed = parseKernelPath(kernelPath)) {
+    o.kernelPath = *parsed;
   } else {
-    throw ConfigError("kernel_path must be batched | reference (got '" +
+    throw ConfigError("kernel_path must be " +
+                      std::string(kernelPathChoices()) + " (got '" +
                       kernelPath + "')");
   }
   o.batchSize = cfg.getInt("batch_size", 0);
@@ -154,6 +155,19 @@ CliOptions readOptions(const ConfigFile& cfg) {
   return o;
 }
 
+/// Apply the CLI-controlled solver options on top of a scenario's default
+/// SolverConfig -- the one place where config-file keys map onto
+/// SolverConfig fields, shared by every scenario branch.
+void applySolverOptions(SolverConfig& sc, const CliOptions& o) {
+  sc.ltsRate = o.lts ? 2 : 1;
+  sc.deterministic = o.deterministic;
+  sc.kernelPath = o.kernelPath;
+  sc.batchSize = o.batchSize;
+  if (o.cflFraction > 0) {
+    sc.cflFraction = o.cflFraction;
+  }
+}
+
 /// Build the scenario's simulation with its standard receivers.  Resumed
 /// runs must rebuild the identical setup, so everything here is a pure
 /// function of the validated options.
@@ -167,13 +181,7 @@ std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
     p.domainPadding = 12000.0;
     const MegathrustScenario s = buildMegathrustScenario(p);
     SolverConfig sc = megathrustSolverConfig(o.degree);
-    sc.ltsRate = o.lts ? 2 : 1;
-    sc.deterministic = o.deterministic;
-    sc.kernelPath = o.kernelPath;
-    sc.batchSize = o.batchSize;
-    if (o.cflFraction > 0) {
-      sc.cflFraction = o.cflFraction;
-    }
+    applySolverOptions(sc, o);
     sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
     sim->setInitialCondition([](const Vec3&, int) {
       return std::array<real, 9>{};
@@ -188,13 +196,7 @@ std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
     p.shelfDepth = 200.0;
     const PaluScenario s = buildPaluScenario(p);
     SolverConfig sc = paluSolverConfig(o.degree);
-    sc.ltsRate = o.lts ? 2 : 1;
-    sc.deterministic = o.deterministic;
-    sc.kernelPath = o.kernelPath;
-    sc.batchSize = o.batchSize;
-    if (o.cflFraction > 0) {
-      sc.cflFraction = o.cflFraction;
-    }
+    applySolverOptions(sc, o);
     sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
     sim->setInitialCondition([](const Vec3&, int) {
       return std::array<real, 9>{};
@@ -214,13 +216,7 @@ std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
     };
     SolverConfig sc;
     sc.degree = o.degree;
-    sc.ltsRate = o.lts ? 2 : 1;
-    sc.deterministic = o.deterministic;
-    sc.kernelPath = o.kernelPath;
-    sc.batchSize = o.batchSize;
-    if (o.cflFraction > 0) {
-      sc.cflFraction = o.cflFraction;
-    }
+    applySolverOptions(sc, o);
     sim = std::make_unique<Simulation>(
         buildBoxMesh(spec),
         std::vector<Material>{Material::fromVelocities(2700, 6000, 3464),
