@@ -1,0 +1,22 @@
+#pragma once
+
+// Shared JSON emission helpers for the hand-rolled writers (perf report,
+// telemetry streams, status heartbeat, incident report).  The solver has
+// no JSON dependency; every producer composes documents from these two
+// primitives so that number formatting (shortest-roundtrip, locale
+// independent) and string escaping behave identically everywhere.
+
+#include <string>
+
+namespace tsg {
+
+/// Locale-independent "%.17g" JSON number.  JSON has no literal for
+/// non-finite values; they are emitted as `null` so the document stays
+/// parseable (consumers treat null as "not available").
+std::string jsonNumber(double v);
+
+/// Quoted JSON string literal with '"', '\\', newline, and control
+/// characters escaped.
+std::string jsonQuote(const std::string& s);
+
+}  // namespace tsg

@@ -3,9 +3,9 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
 
 #include "common/flops.hpp"
+#include "common/json.hpp"
 #include "io/atomic_file.hpp"
 
 namespace tsg {
@@ -18,43 +18,11 @@ double nowSeconds() {
       .count();
 }
 
-/// Locale-independent shortest-roundtrip double formatting for JSON.
-std::string jsonNumber(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // JSON has no inf/nan: clamp to null-ish sentinel 0 (not expected here).
-  if (std::strstr(buf, "inf") || std::strstr(buf, "nan")) {
-    return "0";
-  }
-  return buf;
-}
+std::string jsonString(const std::string& s) { return jsonQuote(s); }
 
-std::string jsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+/// Trace tid of the named-span "run/io" track: keeps orchestration spans
+/// off the per-cluster kernel rows without colliding with cluster ids.
+constexpr int kRunTrackTid = 999;
 
 }  // namespace
 
@@ -107,6 +75,26 @@ void PerfMonitor::endPhase(Phase p, int cluster, std::uint64_t elements,
   }
 }
 
+double PerfMonitor::clockSeconds() { return nowSeconds(); }
+
+void PerfMonitor::recordSpan(const char* name, double t0, double t1) {
+  SpanStats& s = spans_[name];
+  s.seconds += t1 - t0;
+  s.invocations += 1;
+  if (traceEnabled_ &&
+      trace_.size() + namedTrace_.size() < maxTraceEvents_) {
+    namedTrace_.push_back({name, (t0 - epoch_) * 1e6, (t1 - t0) * 1e6, 0});
+  }
+}
+
+void PerfMonitor::instant(const char* name, std::uint64_t value) {
+  if (traceEnabled_ &&
+      trace_.size() + namedTrace_.size() < maxTraceEvents_) {
+    namedTrace_.push_back(
+        {name, (nowSeconds() - epoch_) * 1e6, -1.0, value});
+  }
+}
+
 void PerfMonitor::enableTrace(std::size_t maxEvents) {
   traceEnabled_ = true;
   maxTraceEvents_ = maxEvents;
@@ -133,24 +121,45 @@ void PerfMonitor::reset() {
   for (auto& perPhase : stats_) {
     perPhase.clear();
   }
+  spans_.clear();
   trace_.clear();
+  namedTrace_.clear();
   traceSaturated_ = false;
 }
 
 void PerfMonitor::writeChromeTrace(const std::string& path) const {
   std::string out = "{\"traceEvents\":[";
-  bool first = true;
+  char buf[224];
+  // Label the named-span track so Perfetto shows "run/io" instead of a
+  // bare tid next to the per-cluster kernel rows.
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"tid\":%d,\"args\":{\"name\":\"run/io\"}}",
+                kRunTrackTid);
+  out += buf;
   for (const TraceEvent& e : trace_) {
-    if (!first) {
-      out += ',';
-    }
-    first = false;
-    char buf[192];
+    out += ',';
     std::snprintf(buf, sizeof buf,
                   "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\","
                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
                   phaseName(static_cast<Phase>(e.phase)), e.beginUs, e.durUs,
                   e.cluster);
+    out += buf;
+  }
+  for (const NamedEvent& e : namedTrace_) {
+    out += ',';
+    if (e.durUs < 0) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"run\",\"ph\":\"i\","
+                    "\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,"
+                    "\"args\":{\"count\":%" PRIu64 "}}",
+                    e.name, e.beginUs, kRunTrackTid, e.value);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"run\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
+                    e.name, e.beginUs, e.durUs, kRunTrackTid);
+    }
     out += buf;
   }
   out += "]}";
@@ -249,6 +258,20 @@ std::string perfReportJson(const PerfMonitor& m, const PerfReportMeta& meta) {
     out += buf;
   }
   out += "]}";
+
+  if (!m.spanStats().empty()) {
+    out += ",\n  \"spans\": {";
+    bool first = true;
+    for (const auto& [name, s] : m.spanStats()) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += jsonString(name) + ": {\"seconds\": " + jsonNumber(s.seconds) +
+             ", \"invocations\": " + std::to_string(s.invocations) + "}";
+    }
+    out += "}";
+  }
 
   if (!meta.backends.empty()) {
     out += ",\n  \"backends\": [";

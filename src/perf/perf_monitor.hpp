@@ -14,9 +14,20 @@
 // Outputs:
 //  * perfReportJson(): the BENCH_kernels.json schema ("tsg-perf-1") with
 //    the phase breakdown (wall seconds, GFLOP/s, element updates/s,
-//    estimated FLOP/byte), the per-cluster split, and the LTS histogram;
+//    estimated FLOP/byte), the per-cluster split, the LTS histogram, and
+//    aggregate named-span totals;
 //  * writeChromeTrace(): an about://tracing / Perfetto-compatible event
 //    file of every phase region (bounded buffer, oldest-first).
+//
+// Beyond the three kernel phases, orchestration-level work (checkpoint
+// save/restore, VTK/CSV output, health scans, telemetry sampling) is
+// recorded as *named spans* -- begin/end pairs from the orchestrating
+// thread, aggregated per name and emitted on a dedicated "run/io" trace
+// track -- so a trace shows the whole run, not just kernel time.
+// Per-macro-cycle quantities that happen inside parallel kernel regions
+// (gravity-eta RK updates, receiver sampling) are recorded as *instant
+// events* carrying a count, emitted once per macro cycle by the
+// telemetry driver.
 
 #include <cstdint>
 #include <map>
@@ -63,6 +74,27 @@ class PerfMonitor {
   void endPhase(Phase p, int cluster, std::uint64_t elements,
                 std::uint64_t bytesEstimate);
 
+  /// Aggregate per-name wall time and count of one named span.
+  struct SpanStats {
+    double seconds = 0;
+    std::uint64_t invocations = 0;
+  };
+
+  /// Record one named orchestration span [t0, t1] (clockSeconds values).
+  /// Aggregated into spanStats() always; appended to the trace buffer
+  /// when tracing is on.  `name` must outlive the monitor (use string
+  /// literals).  Orchestrating thread only, like beginPhase/endPhase;
+  /// spans may nest (checkpoint inside a telemetry flush).
+  void recordSpan(const char* name, double t0, double t1);
+  /// Record a named instant event carrying a count (e.g. gravity-eta
+  /// updates in the last macro cycle).  Trace-only; no aggregate.
+  void instant(const char* name, std::uint64_t value);
+
+  /// Monotonic seconds on the span/trace clock (steady_clock).
+  static double clockSeconds();
+
+  const std::map<std::string, SpanStats>& spanStats() const { return spans_; }
+
   /// Keep a bounded chrome-trace event buffer (default off).
   void enableTrace(std::size_t maxEvents = 1u << 20);
   bool traceEnabled() const { return traceEnabled_; }
@@ -85,11 +117,18 @@ class PerfMonitor {
     int cluster;
     double beginUs, durUs;
   };
+  struct NamedEvent {
+    const char* name;  // static string, see recordSpan
+    double beginUs, durUs;  // durUs < 0: instant event, value_ is the count
+    std::uint64_t value;
+  };
 
   std::vector<PhaseStats> stats_[kNumPhases];  // indexed by cluster
+  std::map<std::string, SpanStats> spans_;
   bool traceEnabled_ = false;
   std::size_t maxTraceEvents_ = 0;
   std::vector<TraceEvent> trace_;
+  std::vector<NamedEvent> namedTrace_;
   bool traceSaturated_ = false;
 
   // In-flight region (phases are serial; no nesting).
@@ -98,6 +137,31 @@ class PerfMonitor {
   double epoch_ = 0;  // construction time, trace timestamp origin
 
   void ensureCluster(int phase, int cluster);
+};
+
+/// RAII named span: times its scope into `monitor` (null-safe -- a null
+/// monitor makes the span a no-op, so call sites stay zero-cost when
+/// perf monitoring is off).
+class PerfSpan {
+ public:
+  PerfSpan(PerfMonitor* monitor, const char* name)
+      : monitor_(monitor), name_(name) {
+    if (monitor_) {
+      t0_ = PerfMonitor::clockSeconds();
+    }
+  }
+  ~PerfSpan() {
+    if (monitor_) {
+      monitor_->recordSpan(name_, t0_, PerfMonitor::clockSeconds());
+    }
+  }
+  PerfSpan(const PerfSpan&) = delete;
+  PerfSpan& operator=(const PerfSpan&) = delete;
+
+ private:
+  PerfMonitor* monitor_;
+  const char* name_;
+  double t0_ = 0;
 };
 
 /// Static run metadata for the JSON report.

@@ -2,6 +2,8 @@
 
 #include <omp.h>
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace tsg {
 
 namespace {
@@ -66,6 +68,11 @@ void ClusterScheduler::rupturePhase(int cluster, real dt,
 }
 
 void ClusterScheduler::runMacroCycle(PerfMonitor* perf) {
+  static Counter& macroCycles = MetricsRegistry::global().counter(
+      "solver.macro_cycles", MetricUnit::kCount);
+  static Counter& updates = MetricsRegistry::global().counter(
+      "solver.element_updates", MetricUnit::kElements);
+  const std::uint64_t updates0 = elementUpdates_;
   const ClusterLayout& clusters = *s_.clusters;
   const std::int64_t ticksPerMacro = clusters.ticksPerMacro();
   for (std::int64_t step = 0; step < ticksPerMacro; ++step) {
@@ -116,6 +123,8 @@ void ClusterScheduler::runMacroCycle(PerfMonitor* perf) {
       elementUpdates_ += nElems;
     }
   }
+  macroCycles.add(1);
+  updates.add(elementUpdates_ - updates0);
 }
 
 // Analytic main-memory traffic models (streamed arrays only; reference

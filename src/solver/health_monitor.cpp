@@ -5,9 +5,11 @@
 #include <limits>
 #include <sstream>
 
+#include "common/kernel_path.hpp"
 #include "io/atomic_file.hpp"
 #include "io/vtk_writer.hpp"
 #include "solver/diagnostics.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace tsg {
 
@@ -57,6 +59,22 @@ std::string incidentJson(const HealthReport& report) {
   out << ",\n  \"cluster\": " << report.cluster;
   out << ",\n  \"gravity_face\": " << report.gravityFace;
   out << ",\n  \"fault_face\": " << report.faultFace;
+  out << ",\n  \"backend\": ";
+  appendJsonString(out, report.backend);
+  out << ",\n  \"isa\": ";
+  appendJsonString(out, report.isa);
+  out << ",\n  \"kernel_path\": ";
+  appendJsonString(out, report.kernelPath);
+  {
+    // As a hex string: a u64 hash does not fit a double-backed JSON
+    // number, and this matches the checkpoint mismatch diagnostics.
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "\"0x%016llx\"",
+                  static_cast<unsigned long long>(report.configHash));
+    out << ",\n  \"config_hash\": " << hash;
+  }
+  out << ",\n  \"metrics\": "
+      << (report.metricsJson.empty() ? "null" : report.metricsJson.c_str());
   out << ",\n  \"energy_history\": [";
   for (std::size_t i = 0; i < report.energyHistory.size(); ++i) {
     if (i > 0) {
@@ -71,13 +89,27 @@ std::string incidentJson(const HealthReport& report) {
 HealthMonitor::HealthMonitor(HealthMonitorConfig cfg) : cfg_(std::move(cfg)) {}
 
 void HealthMonitor::attach(Simulation& sim) {
-  sim.onMacroStep([this, &sim](real) { check(sim); });
+  sim.onMacroStep([this, &sim](real) {
+    PerfSpan span(sim.perfMonitor(), "health_scan");
+    check(sim);
+  });
 }
 
 void HealthMonitor::check(const Simulation& sim) {
+  static Counter& scans =
+      MetricsRegistry::global().counter("health.scans", MetricUnit::kCount);
+  scans.add(1);
+
   HealthReport report;
   report.time = sim.time();
   report.tick = sim.tick();
+  report.backend = sim.backend().name();
+  report.isa = sim.backend().isa();
+  report.kernelPath = kernelPathName(sim.config().kernelPath);
+  report.configHash = sim.configHash();
+  if (metricsProvider_) {
+    report.metricsJson = metricsProvider_();
+  }
 
   // Cheapest and most specific first: a non-finite DOF pinpoints the
   // element (and its time cluster) where the blow-up originated.
@@ -135,6 +167,9 @@ void HealthMonitor::check(const Simulation& sim) {
 }
 
 void HealthMonitor::fail(const Simulation& sim, HealthReport report) {
+  static Counter& incidents =
+      MetricsRegistry::global().counter("health.incidents", MetricUnit::kCount);
+  incidents.add(1);
   std::string dumpNote;
   if (cfg_.writeFailureDump) {
     const std::string vtkPath = cfg_.outputPrefix + "_failure.vtk";

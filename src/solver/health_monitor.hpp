@@ -21,6 +21,7 @@
 // macro-cycle boundary instead of producing silent NaN-filled output.
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,6 +40,15 @@ struct HealthReport {
   int gravityFace = -1;     // offending gravity face, or -1
   int faultFace = -1;       // offending fault face, or -1
   std::vector<real> energyHistory;  // total energy, oldest first
+  // Run metadata, so an incident report alone identifies the build/config
+  // that produced it (bug reports arrive without the run's stdout).
+  std::string backend;      // kernel backend name ("batched", ...)
+  std::string isa;          // dispatched ISA ("avx2", "scalar", ...)
+  std::string kernelPath;   // configured kernel path name
+  std::uint64_t configHash = 0;  // solver config hash (checkpoint identity)
+  // Latest telemetry physics sample as a JSON object ("" when no
+  // telemetry is attached); embedded verbatim in the incident JSON.
+  std::string metricsJson;
 };
 
 /// Typed divergence error surfaced by the health monitor (CLI exit 3).
@@ -77,6 +87,13 @@ class HealthMonitor {
   /// monitor must outlive the simulation's stepping calls.
   void attach(Simulation& sim);
 
+  /// Supply the latest telemetry sample (a JSON object, or "") for
+  /// embedding in incident reports.  Typically
+  /// RunTelemetry::latestSampleJson, registered after both are attached.
+  void setMetricsProvider(std::function<std::string()> provider) {
+    metricsProvider_ = std::move(provider);
+  }
+
   /// Run all checks against the current state; throws SolverDivergedError
   /// (after writing the failure dump and incident report, if configured)
   /// when the run has diverged.
@@ -89,6 +106,7 @@ class HealthMonitor {
 
   HealthMonitorConfig cfg_;
   std::vector<real> history_;
+  std::function<std::string()> metricsProvider_;
 };
 
 /// Serialize a HealthReport as the incident JSON document (exposed for

@@ -421,6 +421,7 @@ void Simulation::saveCheckpoint(const std::string& path) const {
         "saveCheckpoint: state is only consistent at macro-cycle "
         "boundaries (call between advanceTo calls or from onMacroStep)");
   }
+  PerfSpan span(perf_.get(), "checkpoint_save");
   BinaryWriter w;
   w.writeI64(scheduler_->tick());
   w.writeReal(time_);
@@ -458,6 +459,7 @@ void Simulation::saveCheckpoint(const std::string& path) const {
 }
 
 void Simulation::restoreCheckpoint(const std::string& path) {
+  PerfSpan span(perf_.get(), "checkpoint_restore");
   std::string payload;
   const CheckpointHeader h = readCheckpointFile(path, payload);
   if (h.degree != static_cast<std::uint32_t>(cfg_.degree)) {

@@ -1,0 +1,156 @@
+#include "telemetry/logging.hpp"
+
+#include <chrono>
+
+#include "common/json.hpp"
+
+namespace tsg {
+
+namespace {
+
+double monotonicSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* logLevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+std::optional<LogLevel> parseLogLevel(const std::string& s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogField logStr(std::string key, std::string value) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::kString;
+  f.str = std::move(value);
+  return f;
+}
+
+LogField logNum(std::string key, double value) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::kNumber;
+  f.num = value;
+  return f;
+}
+
+LogField logInt(std::string key, long long value) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::kInteger;
+  f.integer = value;
+  return f;
+}
+
+Logger::Logger() : epoch_(monotonicSeconds()) {}
+
+void Logger::setStreams(std::FILE* out, std::FILE* err) {
+  out_ = out;
+  err_ = err;
+}
+
+double Logger::elapsedSeconds() const { return monotonicSeconds() - epoch_; }
+
+void Logger::log(LogLevel level, const char* event, const std::string& message,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) {
+    return;
+  }
+  const double ts = elapsedSeconds();
+  std::string line;
+  if (json_) {
+    line = "{\"ts\":" + jsonNumber(ts) +
+           ",\"level\":" + jsonQuote(logLevelName(level)) +
+           ",\"event\":" + jsonQuote(event) +
+           ",\"msg\":" + jsonQuote(message);
+    for (const LogField& f : fields) {
+      line += "," + jsonQuote(f.key) + ":";
+      switch (f.kind) {
+        case LogField::Kind::kString:
+          line += jsonQuote(f.str);
+          break;
+        case LogField::Kind::kNumber:
+          line += jsonNumber(f.num);
+          break;
+        case LogField::Kind::kInteger:
+          line += std::to_string(f.integer);
+          break;
+      }
+    }
+    line += "}\n";
+  } else {
+    char head[64];
+    std::snprintf(head, sizeof head, "[%9.3fs] %-5s ", ts,
+                  logLevelName(level));
+    line = head;
+    line += event;
+    line += ": ";
+    line += message;
+    line += '\n';
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capture_) {
+    *capture_ += line;
+    return;
+  }
+  // Human mode keeps the historical stream split (progress on stdout,
+  // problems on stderr); JSON mode keeps one stream so it stays pure
+  // line-delimited JSON.
+  std::FILE* f =
+      (!json_ && static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn))
+          ? err_
+          : out_;
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fflush(f);
+}
+
+Logger& logger() {
+  static Logger* l = new Logger;  // immortal: usable from exit paths
+  return *l;
+}
+
+void logDebug(const char* event, const std::string& message,
+              std::initializer_list<LogField> fields) {
+  logger().log(LogLevel::kDebug, event, message, fields);
+}
+
+void logInfo(const char* event, const std::string& message,
+             std::initializer_list<LogField> fields) {
+  logger().log(LogLevel::kInfo, event, message, fields);
+}
+
+void logWarn(const char* event, const std::string& message,
+             std::initializer_list<LogField> fields) {
+  logger().log(LogLevel::kWarn, event, message, fields);
+}
+
+void logError(const char* event, const std::string& message,
+              std::initializer_list<LogField> fields) {
+  logger().log(LogLevel::kError, event, message, fields);
+}
+
+}  // namespace tsg

@@ -1,0 +1,183 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace tsg {
+
+const char* metricUnitName(MetricUnit u) {
+  switch (u) {
+    case MetricUnit::kNone:
+      return "none";
+    case MetricUnit::kCount:
+      return "count";
+    case MetricUnit::kSeconds:
+      return "seconds";
+    case MetricUnit::kBytes:
+      return "bytes";
+    case MetricUnit::kElements:
+      return "elements";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Relaxed CAS update loop for atomic<double> min/max/sum (fetch_add on
+/// atomic<double> is C++20 but not guaranteed lock-free everywhere; the
+/// CAS loop is portable and these are cold paths).
+template <class Better>
+void atomicUpdate(std::atomic<double>& a, double v, Better better) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucketOf(double v) {
+  if (!(v > 0) || !std::isfinite(v)) {
+    return 0;  // non-positive and non-finite observations land in bucket 0
+  }
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  const int i = exp - 1 + kBucketBias;
+  return i < 0 ? 0 : (i >= kNumBuckets ? kNumBuckets - 1 : i);
+}
+
+double Histogram::bucketLowerEdge(int i) {
+  return std::ldexp(1.0, i - kBucketBias);
+}
+
+void Histogram::observe(double v) {
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(sum_, v);
+  if (n == 0) {
+    // First observation seeds min/max; racing observers fix it up below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomicUpdate(min_, v, [](double a, double b) { return a < b; });
+  atomicUpdate(max_, v, [](double a, double b) { return a > b; });
+  buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::findOrCreate(const std::string& name,
+                                                      Kind kind,
+                                                      MetricUnit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind || it->second.unit != unit) {
+      throw std::logic_error("MetricsRegistry: '" + name +
+                             "' already registered with a different "
+                             "type or unit");
+    }
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.unit = unit;
+  switch (kind) {
+    case Kind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return entries_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, MetricUnit unit) {
+  return *findOrCreate(name, Kind::kCounter, unit).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricUnit unit) {
+  return *findOrCreate(name, Kind::kGauge, unit).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      MetricUnit unit) {
+  return *findOrCreate(name, Kind::kHistogram, unit).histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::snapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += jsonQuote(name) + ":{\"unit\":";
+    out += jsonQuote(metricUnitName(e.unit));
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" +
+               std::to_string(e.counter->value());
+        break;
+      case Kind::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" + jsonNumber(e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        out += ",\"type\":\"histogram\",\"count\":" +
+               std::to_string(h.count()) + ",\"sum\":" + jsonNumber(h.sum()) +
+               ",\"min\":" + jsonNumber(h.min()) +
+               ",\"max\":" + jsonNumber(h.max()) + ",\"buckets\":{";
+        bool firstBucket = true;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const std::uint64_t c = h.bucketCount(i);
+          if (!c) {
+            continue;
+          }
+          if (!firstBucket) {
+            out += ",";
+          }
+          firstBucket = false;
+          out += jsonQuote(jsonNumber(Histogram::bucketLowerEdge(i))) + ":" +
+                 std::to_string(c);
+        }
+        out += "}";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry;  // immortal, see header
+  return *r;
+}
+
+}  // namespace tsg

@@ -1,0 +1,130 @@
+#pragma once
+
+// MetricsRegistry: named counters / gauges / histograms with typed units,
+// usable from any layer (solver, scheduler, checkpoint, I/O) without
+// plumbing a handle through every constructor.
+//
+// Concurrency contract: registration (counter()/gauge()/histogram())
+// takes a mutex and is O(log n) -- call it once and cache the returned
+// reference (handles have stable addresses for the registry's lifetime).
+// Updates on the handles are lock-free relaxed atomics: a counter add is
+// one fetch_add, cheap enough for per-macro-cycle and per-I/O call
+// sites.  (Hot kernel inner loops should still aggregate locally and
+// publish per phase, as the FLOP counters do.)
+//
+// The process-global registry (MetricsRegistry::global()) feeds the
+// status heartbeat and the metrics snapshot embedded in health-incident
+// reports; tests construct their own instances.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tsg {
+
+enum class MetricUnit {
+  kNone,
+  kCount,
+  kSeconds,
+  kBytes,
+  kElements,
+};
+
+const char* metricUnitName(MetricUnit u);
+
+/// Monotonically increasing event/quantity counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Lock-free value-distribution recorder: count, sum, min, max plus
+/// power-of-two buckets (bucket i counts observations in
+/// [2^(i - kBucketBias), 2^(i - kBucketBias + 1)); bucket 0 additionally
+/// absorbs everything smaller, the last bucket everything larger).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kBucketBias = 32;  // bucket 32 covers [1, 2)
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest observed value; 0 before any observation.
+  double min() const;
+  double max() const;
+  double mean() const;
+  std::uint64_t bucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Lower edge of bucket i (2^(i - kBucketBias)).
+  static double bucketLowerEdge(int i);
+  static int bucketOf(double v);
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name.  Throws std::logic_error if `name` is
+  /// already registered as a different metric type or unit.
+  Counter& counter(const std::string& name, MetricUnit unit = MetricUnit::kCount);
+  Gauge& gauge(const std::string& name, MetricUnit unit = MetricUnit::kNone);
+  Histogram& histogram(const std::string& name,
+                       MetricUnit unit = MetricUnit::kNone);
+
+  /// One JSON object keyed by metric name:
+  ///   {"checkpoint.saves": {"type": "counter", "unit": "count", "value": 3},
+  ///    "checkpoint.save_seconds": {"type": "histogram", ..., "buckets": ...}}
+  /// Values are read with relaxed loads: a snapshot taken concurrently
+  /// with updates is per-metric consistent, not cross-metric consistent.
+  std::string snapshotJson() const;
+
+  /// Number of registered metrics (testing).
+  std::size_t size() const;
+
+  /// The process-wide registry.  Immortal (never destroyed) so metric
+  /// handles cached in function-local statics stay valid during late
+  /// shutdown paths, mirroring the FLOP-counter registry.
+  static MetricsRegistry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    MetricUnit unit;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& findOrCreate(const std::string& name, Kind kind, MetricUnit unit);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tsg

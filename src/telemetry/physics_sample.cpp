@@ -1,0 +1,34 @@
+#include "telemetry/physics_sample.hpp"
+
+#include "common/json.hpp"
+
+namespace tsg {
+
+std::string physicsSampleJson(const PhysicsSample& s) {
+  std::string out = "{\"t\":" + jsonNumber(s.simTime) +
+                    ",\"wall_seconds\":" + jsonNumber(s.wallSeconds) +
+                    ",\"tick\":" + std::to_string(s.tick);
+  out += ",\"energy\":{\"kinetic\":" + jsonNumber(s.energyKinetic) +
+         ",\"strain_elastic\":" + jsonNumber(s.energyElastic) +
+         ",\"strain_acoustic\":" + jsonNumber(s.energyAcoustic) +
+         ",\"total\":" + jsonNumber(s.energyTotal) + "}";
+  out += ",\"max_abs_eta\":" + jsonNumber(s.maxAbsEta) +
+         ",\"max_seafloor_uplift\":" + jsonNumber(s.maxSeafloorUplift);
+  out += ",\"moment_rate\":" + jsonNumber(s.momentRate) +
+         ",\"peak_slip_rate\":" + jsonNumber(s.peakSlipRate) +
+         ",\"slip_integral\":" + jsonNumber(s.slipIntegral);
+  out += ",\"cfl_margin\":" + jsonNumber(s.cflMargin) +
+         ",\"lts_skew\":" + jsonNumber(s.ltsSkew) +
+         ",\"element_updates\":" + std::to_string(s.elementUpdates);
+  out += ",\"cluster_updates\":[";
+  for (std::size_t c = 0; c < s.clusterUpdates.size(); ++c) {
+    if (c) {
+      out += ",";
+    }
+    out += std::to_string(s.clusterUpdates[c]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tsg

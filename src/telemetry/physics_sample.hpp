@@ -1,0 +1,48 @@
+#pragma once
+
+// PhysicsSample: one record of the per-macro-cycle physics time series
+// (schema "tsg-metrics-1") -- the evolving observables by which a long
+// coupled run is judged scientifically: energy budget, sea-surface
+// height, seafloor uplift, fault moment rate, and the LTS work
+// distribution.  Deliberately free of solver includes so that the health
+// monitor can embed the latest sample in incident reports without an
+// include cycle; capture from a live Simulation lives in
+// telemetry/run_telemetry.*.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsg {
+
+struct PhysicsSample {
+  double simTime = 0;       // [s] simulated
+  double wallSeconds = 0;   // [s] wall clock since telemetry attach
+  std::int64_t tick = 0;    // completed dtMin ticks
+
+  // Energy budget (solver/diagnostics).
+  double energyKinetic = 0;
+  double energyElastic = 0;
+  double energyAcoustic = 0;
+  double energyTotal = 0;
+
+  double maxAbsEta = 0;          // max |sea-surface displacement| [m]
+  double maxSeafloorUplift = 0;  // max |accumulated seafloor uplift| [m]
+
+  // Fault observables (0 when the scenario has no fault).
+  double momentRate = 0;    // d(slip integral)/dt between samples
+  double peakSlipRate = 0;  // max slip rate over all fault points [m/s]
+  double slipIntegral = 0;  // totalSlipIntegral (moment / rigidity scale)
+
+  // LTS / stability.
+  double cflMargin = 0;  // min over elements of dt_stable / dt_used (>= 1)
+  double ltsSkew = 0;    // GTS updates / LTS updates per macro cycle
+  std::uint64_t elementUpdates = 0;          // cumulative
+  std::vector<std::uint64_t> clusterUpdates; // cumulative, per cluster
+};
+
+/// One single-line JSON record of the "tsg-metrics-1" stream (no
+/// trailing newline).  Non-finite values are emitted as null.
+std::string physicsSampleJson(const PhysicsSample& s);
+
+}  // namespace tsg

@@ -131,6 +131,43 @@ TEST(Health, DumplessModeStillThrowsTyped) {
   EXPECT_FALSE(fileExists("health_quiet_incident.json"));
 }
 
+TEST(Health, IncidentEmbedsRunMetadataAndMetrics) {
+  std::remove("health_meta_failure.vtk");
+  std::remove("health_meta_incident.json");
+  auto sim = pulseSim(0.35);
+  HealthMonitorConfig hc;
+  hc.outputPrefix = "health_meta";
+  HealthMonitor monitor(hc);
+  monitor.setMetricsProvider(
+      [] { return std::string("{\"t\":1.25,\"max_abs_eta\":0.5}"); });
+  sim->debugInjectNonFinite(0);
+  try {
+    monitor.check(*sim);
+    FAIL() << "NaN state did not trigger the health monitor";
+  } catch (const SolverDivergedError& e) {
+    EXPECT_EQ(e.report().backend, sim->backend().name());
+    EXPECT_EQ(e.report().isa, sim->backend().isa());
+    EXPECT_EQ(e.report().configHash, sim->configHash());
+    EXPECT_EQ(e.report().metricsJson, "{\"t\":1.25,\"max_abs_eta\":0.5}");
+  }
+  ASSERT_TRUE(fileExists("health_meta_incident.json"));
+  const std::string json = fileBytes("health_meta_incident.json");
+  EXPECT_NE(json.find("\"backend\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"isa\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kernel_path\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"config_hash\": \"0x"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"metrics\": {\"t\":1.25"), std::string::npos) << json;
+  std::remove("health_meta_failure.vtk");
+  std::remove("health_meta_incident.json");
+}
+
+TEST(Health, IncidentWithoutProviderEmitsNullMetrics) {
+  HealthReport r;
+  r.reason = "x";
+  const std::string json = incidentJson(r);
+  EXPECT_NE(json.find("\"metrics\": null"), std::string::npos) << json;
+}
+
 TEST(Health, IncidentJsonEscapesAndEncodesNonFinite) {
   HealthReport r;
   r.reason = "bad \"quoted\" value";

@@ -1,16 +1,25 @@
 // tsunamigen CLI driver: run a named scenario from a key = value
 // parameter file (the role of SeisSol's parameter file) and write VTK +
-// receiver-CSV output, with checkpoint/restart and run-health guardrails
-// for operating long runs.
+// receiver-CSV output, with checkpoint/restart, run-health guardrails,
+// and live telemetry for operating long runs.
 //
 // Usage:
-//   tsunamigen_cli [--perf-report[=path]] [--trace[=path]] <config-file>
+//   tsunamigen_cli [--perf-report[=path]] [--trace[=path]]
+//                  [--status[=path]] [--log-level=<lvl>] [--log-json]
+//                  <config-file>
 //   tsunamigen_cli --example-config     (prints a template and exits)
 //
 // --perf-report writes the per-phase x per-cluster kernel performance
-// breakdown (schema "tsg-perf-1", default path BENCH_kernels.json);
+// breakdown (schema "tsg-perf-1", default path <output_prefix>_perf.json);
 // --trace additionally writes a chrome://tracing-compatible event file
-// (default <output_prefix>_trace.json).
+// (default <output_prefix>_trace.json) covering kernel phases plus
+// checkpoint, output-I/O, health-scan, and telemetry spans.
+// --status rewrites a live heartbeat JSON (schema "tsg-status-1",
+// default <output_prefix>_status.json) atomically every macro cycle;
+// the `metrics_interval` config key enables the physics time series
+// (schema "tsg-metrics-1", <output_prefix>_metrics.jsonl).
+// --log-level filters the event log (debug|info|warn|error|off);
+// --log-json switches it from human lines to JSONL on stdout.
 //
 // Exit codes (machine-readable for schedulers / retry wrappers):
 //   0  success
@@ -36,6 +45,8 @@
 #include "solver/diagnostics.hpp"
 #include "solver/health_monitor.hpp"
 #include "solver/simulation.hpp"
+#include "telemetry/logging.hpp"
+#include "telemetry/run_telemetry.hpp"
 
 using namespace tsg;
 
@@ -56,6 +67,8 @@ keep_checkpoints    = 3            # checkpoint files retained (rotation)
 resume              =              # path to a checkpoint to restart from
 health_check        = true         # NaN/Inf + energy blow-up monitor per macro cycle
 max_energy_growth   = 100.0        # allowed energy growth factor per macro cycle
+metrics_interval    = 0            # [s] of simulated time between physics samples
+                                   # written to <output_prefix>_metrics.jsonl; 0 = off
 kernel_path         = batched      # reference (per element) | batched (fused cluster
                                    # tiles, bitwise == reference) | fast (per-ISA SIMD
                                    # kernels, runtime cpuid dispatch, ~1e-9 vs reference)
@@ -77,12 +90,14 @@ struct CliOptions {
   std::string resume;
   bool healthCheck = true;
   real maxEnergyGrowth = 100.0;
-  real cflFraction = 0;  // 0 = scenario default
+  real metricsInterval = 0;  // 0 = no metrics stream
+  real cflFraction = 0;      // 0 = scenario default
   KernelPath kernelPath = KernelPath::kBatched;
   int batchSize = 0;  // 0 = auto
   // Set from the command line, not the config file.
   std::string perfReportPath;  // empty = no report
   std::string tracePath;       // empty = no chrome trace
+  std::string statusPath;      // empty = no status heartbeat
 };
 
 /// Read and validate all options.  Throws ConfigError (exit 2) on any
@@ -102,6 +117,7 @@ CliOptions readOptions(const ConfigFile& cfg) {
   o.resume = cfg.getString("resume", "");
   o.healthCheck = cfg.getBool("health_check", true);
   o.maxEnergyGrowth = cfg.getNumber("max_energy_growth", 100.0);
+  o.metricsInterval = cfg.getNumber("metrics_interval", 0.0);
   o.cflFraction = cfg.getNumber("cfl_fraction", 0.0);
   const std::string kernelPath = cfg.getString("kernel_path", "batched");
   if (const auto parsed = parseKernelPath(kernelPath)) {
@@ -117,8 +133,9 @@ CliOptions readOptions(const ConfigFile& cfg) {
                       std::to_string(o.batchSize) + ")");
   }
   for (const auto& key : cfg.unusedKeys()) {
-    std::fprintf(stderr, "warning: unknown configuration key '%s'\n",
-                 key.c_str());
+    logWarn("config_unknown_key",
+            "unknown configuration key '" + key + "'",
+            {logStr("key", key)});
   }
 
   if (o.scenario != "quickstart" && o.scenario != "megathrust" &&
@@ -148,6 +165,10 @@ CliOptions readOptions(const ConfigFile& cfg) {
   }
   if (!(o.maxEnergyGrowth > 1)) {
     throw ConfigError("max_energy_growth must be > 1");
+  }
+  if (o.metricsInterval < 0) {
+    throw ConfigError("metrics_interval must be >= 0 (got " +
+                      std::to_string(o.metricsInterval) + ")");
   }
   if (o.cflFraction < 0) {
     throw ConfigError("cfl_fraction must be > 0 when set");
@@ -245,6 +266,9 @@ class CheckpointRotation {
   CheckpointRotation(std::string prefix, real interval, int keep)
       : prefix_(std::move(prefix)), interval_(interval), keep_(keep) {}
 
+  /// Report completed checkpoints to the status heartbeat (optional).
+  void setTelemetry(RunTelemetry* telemetry) { telemetry_ = telemetry; }
+
   void attach(Simulation& sim) {
     nextTime_ = nextMultipleAfter(sim.time());
     sim.onMacroStep([this, &sim](real t) {
@@ -254,7 +278,14 @@ class CheckpointRotation {
       const std::string path =
           prefix_ + "_ckpt_" + std::to_string(sim.tick()) + ".tsgck";
       sim.saveCheckpoint(path);
-      std::printf("checkpoint: wrote %s (t = %.6g s)\n", path.c_str(), t);
+      char msg[64];
+      std::snprintf(msg, sizeof msg, " (t = %.6g s)", t);
+      logInfo("checkpoint_saved", "checkpoint: wrote " + path + msg,
+              {logStr("path", path), logNum("t", t),
+               logInt("tick", static_cast<long long>(sim.tick()))});
+      if (telemetry_) {
+        telemetry_->noteCheckpoint(path, t);
+      }
       written_.push_back(path);
       while (static_cast<int>(written_.size()) > keep_) {
         std::remove(written_.front().c_str());
@@ -276,16 +307,24 @@ class CheckpointRotation {
   int keep_;
   real nextTime_ = 0;
   std::deque<std::string> written_;
+  RunTelemetry* telemetry_ = nullptr;
 };
 
-int run(const std::string& configPath, const std::string& perfReportPath,
-        const std::string& traceRequest) {
+int run(const std::string& configPath, const std::string& perfReportRequest,
+        const std::string& traceRequest, const std::string& statusRequest) {
   const ConfigFile cfg = ConfigFile::load(configPath);
   CliOptions o = readOptions(cfg);
-  o.perfReportPath = perfReportPath;
+  if (!perfReportRequest.empty()) {
+    o.perfReportPath = perfReportRequest == "*" ? o.prefix + "_perf.json"
+                                                : perfReportRequest;
+  }
   if (!traceRequest.empty()) {
     o.tracePath =
         traceRequest == "*" ? o.prefix + "_trace.json" : traceRequest;
+  }
+  if (!statusRequest.empty()) {
+    o.statusPath =
+        statusRequest == "*" ? o.prefix + "_status.json" : statusRequest;
   }
 
   std::unique_ptr<Simulation> sim = buildSimulation(o);
@@ -294,9 +333,29 @@ int run(const std::string& configPath, const std::string& perfReportPath,
   }
   if (!o.resume.empty()) {
     sim->restoreCheckpoint(o.resume);
-    std::printf("resumed from %s at t = %.6g s (tick %lld)\n",
-                o.resume.c_str(), sim->time(),
-                static_cast<long long>(sim->tick()));
+    char at[64];
+    std::snprintf(at, sizeof at, " at t = %.6g s (tick %lld)", sim->time(),
+                  static_cast<long long>(sim->tick()));
+    logInfo("checkpoint_restored", "resumed from " + o.resume + at,
+            {logStr("path", o.resume), logNum("t", sim->time()),
+             logInt("tick", static_cast<long long>(sim->tick()))});
+  }
+
+  // Telemetry registers its macro-step callback first, so the trajectory
+  // of a diverging run -- including the fatal cycle -- is flushed before
+  // the health monitor throws.
+  std::unique_ptr<RunTelemetry> telemetry;
+  if (o.metricsInterval > 0 || !o.statusPath.empty()) {
+    TelemetryOptions to;
+    to.metricsInterval = o.metricsInterval;
+    if (o.metricsInterval > 0) {
+      to.metricsPath = o.prefix + "_metrics.jsonl";
+    }
+    to.statusPath = o.statusPath;
+    to.endTime = o.endTime;
+    to.scenario = o.scenario;
+    telemetry = std::make_unique<RunTelemetry>(to);
+    telemetry->attach(*sim);
   }
 
   // Health checks run before the checkpoint callback (registration
@@ -307,19 +366,35 @@ int run(const std::string& configPath, const std::string& perfReportPath,
     hc.outputPrefix = o.prefix;
     return hc;
   }()};
+  if (telemetry) {
+    monitor.setMetricsProvider(
+        [t = telemetry.get()] { return t->latestSampleJson(); });
+  }
   if (o.healthCheck) {
     monitor.attach(*sim);
   }
   CheckpointRotation rotation(o.prefix, o.checkpointInterval,
                               o.keepCheckpoints);
+  rotation.setTelemetry(telemetry.get());
   if (o.checkpointInterval > 0) {
     rotation.attach(*sim);
   }
 
-  std::printf("scenario %s: %d elements, order %d, dt_min %.3e s, "
-              "%d LTS clusters\n",
-              o.scenario.c_str(), sim->mesh().numElements(), o.degree,
-              sim->dtMin(), sim->clusters().numClusters);
+  {
+    char msg[192];
+    std::snprintf(msg, sizeof msg,
+                  "scenario %s: %d elements, order %d, dt_min %.3e s, "
+                  "%d LTS clusters",
+                  o.scenario.c_str(), sim->mesh().numElements(), o.degree,
+                  sim->dtMin(), sim->clusters().numClusters);
+    logInfo("run_start", msg,
+            {logStr("scenario", o.scenario),
+             logInt("elements", sim->mesh().numElements()),
+             logInt("degree", o.degree), logNum("dt_min", sim->dtMin()),
+             logInt("clusters", sim->clusters().numClusters),
+             logStr("backend", sim->backend().name()),
+             logStr("isa", sim->backend().isa())});
+  }
   for (int s = 1; s <= o.snapshots; ++s) {
     sim->advanceTo(o.endTime * s / o.snapshots);
     const EnergyBudget e = computeEnergy(*sim);
@@ -327,31 +402,51 @@ int run(const std::string& configPath, const std::string& perfReportPath,
     for (const auto& sample : sim->seaSurface()) {
       maxEta = std::max(maxEta, std::abs(sample.eta));
     }
-    std::printf("t = %8.3f s  E_kin %.4g  E_el %.4g  E_ac %.4g  "
-                "max|eta| %.4g m\n",
-                sim->time(), e.kinetic, e.strainElastic, e.strainAcoustic,
-                maxEta);
+    char msg[160];
+    std::snprintf(msg, sizeof msg,
+                  "t = %8.3f s  E_kin %.4g  E_el %.4g  E_ac %.4g  "
+                  "max|eta| %.4g m",
+                  sim->time(), e.kinetic, e.strainElastic, e.strainAcoustic,
+                  maxEta);
+    logInfo("snapshot", msg,
+            {logNum("t", sim->time()), logNum("e_kinetic", e.kinetic),
+             logNum("e_elastic", e.strainElastic),
+             logNum("e_acoustic", e.strainAcoustic),
+             logNum("max_abs_eta", maxEta)});
   }
 
-  for (int r = 0; r < sim->numReceivers(); ++r) {
-    const Receiver& rec = sim->receiver(r);
-    rec.writeCsv(o.prefix + "_receiver_" + rec.name + ".csv");
+  {
+    PerfSpan span(sim->perfMonitor(), "output_receiver_csv");
+    for (int r = 0; r < sim->numReceivers(); ++r) {
+      const Receiver& rec = sim->receiver(r);
+      rec.writeCsv(o.prefix + "_receiver_" + rec.name + ".csv");
+    }
   }
   if (o.vtk) {
+    PerfSpan span(sim->perfMonitor(), "output_vtk");
     writeVtkWavefield(o.prefix + "_wavefield.vtk", *sim);
     writeVtkSurface(o.prefix + "_surface.vtk", sim->seaSurface());
-    std::printf("wrote %s_wavefield.vtk, %s_surface.vtk\n", o.prefix.c_str(),
-                o.prefix.c_str());
+    logInfo("output_vtk",
+            "wrote " + o.prefix + "_wavefield.vtk, " + o.prefix +
+                "_surface.vtk");
+  }
+  if (telemetry) {
+    telemetry->finish(*sim);
   }
   if (const PerfMonitor* perf = sim->perfMonitor()) {
     if (!o.perfReportPath.empty()) {
       writePerfReport(o.perfReportPath, *perf, sim->perfReportMeta(o.scenario));
-      std::printf("wrote %s (kernel time %.3f s)\n", o.perfReportPath.c_str(),
-                  perf->totalSeconds());
+      char note[64];
+      std::snprintf(note, sizeof note, " (kernel time %.3f s)",
+                    perf->totalSeconds());
+      logInfo("perf_report", "wrote " + o.perfReportPath + note,
+              {logStr("path", o.perfReportPath),
+               logNum("kernel_seconds", perf->totalSeconds())});
     }
     if (!o.tracePath.empty()) {
       perf->writeChromeTrace(o.tracePath);
-      std::printf("wrote %s\n", o.tracePath.c_str());
+      logInfo("trace", "wrote " + o.tracePath,
+              {logStr("path", o.tracePath)});
     }
   }
   return 0;
@@ -360,20 +455,37 @@ int run(const std::string& configPath, const std::string& perfReportPath,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string configPath, perfReportPath, traceRequest;
+  std::string configPath, perfReportRequest, traceRequest, statusRequest;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--example-config") {
       std::fputs(kTemplate, stdout);
       return 0;
     } else if (arg == "--perf-report") {
-      perfReportPath = "BENCH_kernels.json";
+      perfReportRequest = "*";  // resolved to <output_prefix>_perf.json
     } else if (arg.rfind("--perf-report=", 0) == 0) {
-      perfReportPath = arg.substr(std::strlen("--perf-report="));
+      perfReportRequest = arg.substr(std::strlen("--perf-report="));
     } else if (arg == "--trace") {
       traceRequest = "*";  // resolved to <output_prefix>_trace.json
     } else if (arg.rfind("--trace=", 0) == 0) {
       traceRequest = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--status") {
+      statusRequest = "*";  // resolved to <output_prefix>_status.json
+    } else if (arg.rfind("--status=", 0) == 0) {
+      statusRequest = arg.substr(std::strlen("--status="));
+    } else if (arg == "--log-json") {
+      logger().setJson(true);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      const std::string level = arg.substr(std::strlen("--log-level="));
+      if (const auto parsed = parseLogLevel(level)) {
+        logger().setLevel(*parsed);
+      } else {
+        std::fprintf(stderr,
+                     "--log-level must be debug|info|warn|error|off "
+                     "(got '%s')\n",
+                     level.c_str());
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -387,24 +499,25 @@ int main(int argc, char** argv) {
   if (configPath.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--perf-report[=path]] [--trace[=path]] "
+                 "[--status[=path]] [--log-level=<lvl>] [--log-json] "
                  "<config-file>\n       %s --example-config\n",
                  argv[0], argv[0]);
     return 2;
   }
   try {
-    return run(configPath, perfReportPath, traceRequest);
+    return run(configPath, perfReportRequest, traceRequest, statusRequest);
   } catch (const ConfigError& e) {
-    std::fprintf(stderr, "configuration error: %s\n", e.what());
+    logError("config_error", std::string("configuration error: ") + e.what());
     return 2;
   } catch (const SolverDivergedError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    logError("solver_diverged", std::string("error: ") + e.what());
     return 3;
   } catch (const IoError& e) {
     // Includes CheckpointError: unreadable/corrupt/incompatible restarts.
-    std::fprintf(stderr, "I/O error: %s\n", e.what());
+    logError("io_error", std::string("I/O error: ") + e.what());
     return 4;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    logError("error", std::string("error: ") + e.what());
     return 1;
   }
 }
