@@ -17,6 +17,8 @@
 // short-wavelength ocean-acoustic oscillations; differences appear near
 // the beach which only the linked model contains.
 
+#include <omp.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -145,14 +147,48 @@ int main() {
             (r == 0) ? repSeconds[p] : std::min(seconds[p], repSeconds[p]);
       }
     }
+    const int benchThreads = omp_get_max_threads();
     PerfReportMeta meta = fastSim->perfReportMeta("megathrust");
     for (int p = 0; p < kNumPaths; ++p) {
       PerfBackendResult b;
       b.backend = kernelPathName(paths[p]);
       b.isa = isaOf[p];
+      b.threads = benchThreads;
       b.seconds = seconds[p];
       b.speedupVsReference = seconds[0] / seconds[p];
       meta.backends.push_back(b);
+    }
+    // Thread-scaling leg: the fast pipeline against its own 1-thread run
+    // (same alternating min-of-N protocol).  Skipped when the bench
+    // already ran single-threaded -- the ratio would be 1 by construction.
+    if (benchThreads > 1) {
+      double oneThread = 0, nThread = 0;
+      for (int r = 0; r < reps; ++r) {
+        omp_set_num_threads(1);
+        {
+          auto s = buildTimed(KernelPath::kFast);
+          const double t = timeRun(*s);
+          oneThread = (r == 0) ? t : std::min(oneThread, t);
+        }
+        omp_set_num_threads(benchThreads);
+        {
+          auto s = buildTimed(KernelPath::kFast);
+          const double t = timeRun(*s);
+          nThread = (r == 0) ? t : std::min(nThread, t);
+        }
+      }
+      PerfBackendResult b;
+      b.backend = "fast";
+      b.isa = isaOf[2];
+      b.threads = 1;
+      b.seconds = oneThread;
+      b.speedupVsReference = seconds[0] / oneThread;
+      meta.backends.push_back(b);
+      meta.extra["fast_1thread_seconds"] = oneThread;
+      meta.extra["thread_speedup"] = oneThread / nThread;
+      std::printf("thread scaling: fast %.2fs @ 1 thread vs %.2fs @ %d "
+                  "threads -> %.2fx\n",
+                  oneThread, nThread, benchThreads, oneThread / nThread);
     }
     // Legacy top-level keys (schema consumers predating the backends
     // array); speedup_vs_reference reports the fastest pipeline.

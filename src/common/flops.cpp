@@ -36,6 +36,8 @@ Counter& threadCounter() {
 
 void countFlops(std::uint64_t n) { threadCounter().value += n; }
 
+std::uint64_t threadFlops() { return threadCounter().value; }
+
 std::uint64_t totalFlops() {
   std::lock_guard<std::mutex> lock(g_registryMutex);
   std::uint64_t sum = 0;

@@ -17,6 +17,12 @@ void countFlops(std::uint64_t n);
 /// Sum of all per-thread counters since the last reset.
 std::uint64_t totalFlops();
 
+/// The calling thread's own counter since the last reset.  Lock-free (the
+/// counter is only ever written by this thread), so it is safe inside
+/// parallel regions -- the per-thread perf accounting reads deltas of this
+/// where the orchestrating-thread path reads deltas of totalFlops().
+std::uint64_t threadFlops();
+
 /// Reset all per-thread counters.
 void resetFlops();
 

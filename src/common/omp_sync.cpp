@@ -1,0 +1,28 @@
+#include "common/omp_sync.hpp"
+
+#ifdef TSG_TSAN_BUILD
+
+#include <atomic>
+
+namespace tsg {
+
+namespace {
+// One process-wide sync clock is enough: TSan accumulates every
+// releasing thread's vector clock into the atomic, and edges implied by
+// unrelated release/acquire pairs are harmless over-synchronisation
+// (they can hide nothing that a real barrier would not also hide,
+// because every call site brackets an actual OpenMP barrier).
+std::atomic<unsigned> ompSyncClock{0};
+}  // namespace
+
+void tsanRelease() {
+  ompSyncClock.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void tsanAcquire() {
+  (void)ompSyncClock.load(std::memory_order_acquire);
+}
+
+}  // namespace tsg
+
+#endif  // TSG_TSAN_BUILD

@@ -1,0 +1,54 @@
+#pragma once
+
+// ThreadSanitizer visibility for OpenMP synchronisation.
+//
+// GCC's libgomp is not TSan-instrumented, so TSan cannot see the
+// happens-before edges of its fork/join and barrier primitives.  Two
+// consequences: (a) perfectly ordered accesses across OpenMP barriers
+// and region boundaries are reported as false races (e.g. a worker's
+// last read vs the main thread's later free of the same object), and
+// (b) the per-thread vector clocks never merge, so nearly every shared
+// access takes TSan's reporting slow path -- orders of magnitude beyond
+// the usual TSan overhead.
+//
+// tsanRelease()/tsanAcquire() rebuild the edges with one TSan-visible
+// atomic: a release increment on the "from" side of every OpenMP
+// synchronisation point and an acquire load on the "to" side.  Under
+// TSan the atomic's sync clock accumulates every releasing thread's
+// clock, so a single acquire observes all of them.  Usage pattern:
+//
+//   tsanRelease();                 // main: publish pre-region writes
+//   #pragma omp parallel
+//   {
+//     tsanAcquire();               // worker: observe them
+//     ...
+//     tsanRelease();               // worker: before an omp barrier
+//   #pragma omp barrier
+//     tsanAcquire();               // worker: after it
+//     ...
+//     tsanRelease();               // worker: publish before the join
+//   }
+//   tsanAcquire();                 // main: observe every worker
+//
+// In non-TSan builds both calls are empty inline functions (zero cost);
+// they do NOT replace the OpenMP barrier, they only annotate it.
+
+#if defined(__SANITIZE_THREAD__)
+#define TSG_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TSG_TSAN_BUILD 1
+#endif
+#endif
+
+namespace tsg {
+
+#ifdef TSG_TSAN_BUILD
+void tsanRelease();
+void tsanAcquire();
+#else
+inline void tsanRelease() {}
+inline void tsanAcquire() {}
+#endif
+
+}  // namespace tsg

@@ -31,6 +31,13 @@ class BatchedBackend : public KernelBackend {
     return static_cast<std::size_t>(layout_.endBatchOfCluster(cluster) -
                                     layout_.firstBatchOfCluster(cluster));
   }
+  void appendTileElements(int cluster, std::size_t tile,
+                          std::vector<int>& out) const override {
+    const ElementBatch& b = batchOf(cluster, tile);
+    for (int i = 0; i < b.width; ++i) {
+      out.push_back(layout_.elements()[b.begin + i]);
+    }
+  }
   void runPredictorTile(int cluster, std::size_t tile,
                         bool resetBuffer) override;
   void runCorrectorTile(int cluster, std::size_t tile,

@@ -42,9 +42,16 @@ class KernelBackend {
   virtual void invalidateLayout() {}
 
   /// Number of independent work items for one stage pass over cluster c.
-  /// The scheduler distributes tiles over OpenMP threads and sizes its
-  /// dynamic-schedule chunks from this count.
+  /// The scheduler's ThreadPlan slices [0, numTiles) into per-thread
+  /// contiguous ranges.
   virtual std::size_t numTiles(int cluster) const = 0;
+
+  /// Append the mesh element ids of one tile of cluster c to `out`.  The
+  /// thread-plan builder aggregates Eq. 28 vertex weights per tile with
+  /// this, and the per-thread perf accounting derives element counts from
+  /// it; not called on the stepping hot path.
+  virtual void appendTileElements(int cluster, std::size_t tile,
+                                  std::vector<int>& out) const = 0;
 
   /// Predictor stage for one tile of cluster c: derivative stacks, time
   /// integrals, and LTS buffer accumulation (`resetBuffer` restarts the

@@ -18,6 +18,10 @@ class ReferenceBackend : public KernelBackend {
   std::size_t numTiles(int cluster) const override {
     return s_.clusters->elementsOfCluster[cluster].size();
   }
+  void appendTileElements(int cluster, std::size_t tile,
+                          std::vector<int>& out) const override {
+    out.push_back(s_.clusters->elementsOfCluster[cluster][tile]);
+  }
   void runPredictorTile(int cluster, std::size_t tile,
                         bool resetBuffer) override;
   void runCorrectorTile(int cluster, std::size_t tile,

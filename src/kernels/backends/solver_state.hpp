@@ -66,6 +66,14 @@ struct SolverState {
   FaultSolver* fault = nullptr;
   std::vector<real> ruptureFlux;  // [face][2][nq*9] staging buffers
   std::vector<std::int64_t> faultFacesOfCluster;  // rupture-phase workload
+  // Fault face ids grouped by the owning (minus-side) element's cluster,
+  // in ascending face order.  The rupture wave of cluster c iterates
+  // exactly its own faces through this instead of scanning ALL faces and
+  // filtering by cluster (which also skewed the old chunk sizing, computed
+  // from the total face count while only a fraction did work).  Both
+  // fault elements share a cluster by construction (time_clusters.cpp),
+  // so grouping by minusElem is exhaustive.
+  std::vector<std::vector<int>> faultFaceIdsOfCluster;
 
   // Observation state updated inside the corrector stage.
   std::vector<SeafloorFace> seafloorFaces;

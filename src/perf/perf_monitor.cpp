@@ -1,5 +1,11 @@
 #include "perf/perf_monitor.hpp"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -19,6 +25,17 @@ double nowSeconds() {
 }
 
 std::string jsonString(const std::string& s) { return jsonQuote(s); }
+
+/// The legacy begin/end bracket shares one t0_/flops0_ pair: concurrent
+/// callers inside a parallel region would silently interleave and produce
+/// garbage seconds/FLOPs.  Debug builds fail fast instead.
+void assertSerialPhaseApi() {
+#ifdef _OPENMP
+  assert(!omp_in_parallel() &&
+         "PerfMonitor::beginPhase/endPhase are orchestrating-thread-only; "
+         "use PerfThreadRecorder inside parallel regions");
+#endif
+}
 
 /// Trace tid of the named-span "run/io" track: keeps orchestration spans
 /// off the per-cluster kernel rows without colliding with cluster ids.
@@ -49,12 +66,14 @@ void PerfMonitor::ensureCluster(int phase, int cluster) {
 void PerfMonitor::beginPhase(Phase p, int cluster) {
   (void)p;
   (void)cluster;
+  assertSerialPhaseApi();
   flops0_ = totalFlops();
   t0_ = nowSeconds();
 }
 
 void PerfMonitor::endPhase(Phase p, int cluster, std::uint64_t elements,
                            std::uint64_t bytesEstimate) {
+  assertSerialPhaseApi();
   const double t1 = nowSeconds();
   const std::uint64_t flops1 = totalFlops();
   const int pi = static_cast<int>(p);
@@ -69,10 +88,84 @@ void PerfMonitor::endPhase(Phase p, int cluster, std::uint64_t elements,
     if (trace_.size() >= maxTraceEvents_) {
       traceSaturated_ = true;  // keep the head; do not grow unboundedly
     } else {
-      trace_.push_back({static_cast<std::int8_t>(pi), cluster,
+      trace_.push_back({static_cast<std::int8_t>(pi), cluster, -1,
                         (t0_ - epoch_) * 1e6, (t1 - t0_) * 1e6});
     }
   }
+}
+
+void PerfMonitor::mergeThread(
+    const std::vector<PhaseStats> (&stats)[kNumPhases],
+    const std::vector<TraceEvent>& trace) {
+  std::lock_guard<std::mutex> lock(mergeMutex_);
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (!stats[p].empty()) {
+      ensureCluster(p, static_cast<int>(stats[p].size()) - 1);
+      for (std::size_t c = 0; c < stats[p].size(); ++c) {
+        stats_[p][c] += stats[p][c];
+      }
+    }
+  }
+  if (traceEnabled_ && !traceSaturated_) {
+    for (const TraceEvent& e : trace) {
+      if (trace_.size() >= maxTraceEvents_) {
+        traceSaturated_ = true;
+        break;
+      }
+      trace_.push_back(e);
+    }
+  }
+}
+
+PerfThreadRecorder::PerfThreadRecorder(PerfMonitor* monitor, int numClusters)
+    : m_(monitor) {
+  if (m_) {
+    for (auto& perPhase : stats_) {
+      perPhase.resize(numClusters);
+    }
+    captureTrace_ = m_->traceEnabled();
+  }
+}
+
+void PerfThreadRecorder::begin() {
+  if (m_) {
+    flops0_ = threadFlops();
+    t0_ = nowSeconds();
+  }
+}
+
+void PerfThreadRecorder::end(Phase p, int cluster, std::uint64_t elements,
+                             std::uint64_t bytesEstimate) {
+  if (!m_) {
+    return;
+  }
+  const double t1 = nowSeconds();
+  PhaseStats& s = stats_[static_cast<int>(p)][cluster];
+  s.seconds += t1 - t0_;
+  s.invocations += 1;
+  s.flops += threadFlops() - flops0_;
+  s.elementUpdates += elements;
+  s.bytesEstimate += bytesEstimate;
+  // Local capture is bounded by the monitor's global cap at merge time;
+  // per-thread growth within one macro cycle is a few events per wave.
+  if (captureTrace_) {
+    trace_.push_back({static_cast<std::int8_t>(p), cluster, -1,
+                      (t0_ - m_->traceEpoch()) * 1e6, (t1 - t0_) * 1e6});
+  }
+}
+
+void PerfThreadRecorder::flush(int thread) {
+  if (!m_) {
+    return;
+  }
+  for (PerfMonitor::TraceEvent& e : trace_) {
+    e.thread = thread;
+  }
+  m_->mergeThread(stats_, trace_);
+  for (auto& perPhase : stats_) {
+    std::fill(perPhase.begin(), perPhase.end(), PhaseStats{});
+  }
+  trace_.clear();
 }
 
 double PerfMonitor::clockSeconds() { return nowSeconds(); }
@@ -139,11 +232,22 @@ void PerfMonitor::writeChromeTrace(const std::string& path) const {
   out += buf;
   for (const TraceEvent& e : trace_) {
     out += ',';
-    std::snprintf(buf, sizeof buf,
-                  "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\","
-                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
-                  phaseName(static_cast<Phase>(e.phase)), e.beginUs, e.durUs,
-                  e.cluster);
+    // Rows stay keyed by cluster; the producing worker thread (persistent
+    // parallel region) is carried in args so Perfetto can slice by it.
+    if (e.thread >= 0) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,"
+                    "\"args\":{\"thread\":%d}}",
+                    phaseName(static_cast<Phase>(e.phase)), e.beginUs,
+                    e.durUs, e.cluster, e.thread);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
+                    phaseName(static_cast<Phase>(e.phase)), e.beginUs,
+                    e.durUs, e.cluster);
+    }
     out += buf;
   }
   for (const NamedEvent& e : namedTrace_) {
@@ -282,6 +386,7 @@ std::string perfReportJson(const PerfMonitor& m, const PerfReportMeta& meta) {
       const PerfBackendResult& b = meta.backends[i];
       out += "{\"backend\":" + jsonString(b.backend) +
              ",\"isa\":" + jsonString(b.isa) +
+             ",\"threads\":" + std::to_string(b.threads) +
              ",\"seconds\":" + jsonNumber(b.seconds) +
              ",\"speedup_vs_reference\":" + jsonNumber(b.speedupVsReference) +
              "}";

@@ -4,12 +4,21 @@
 // pipeline (paper Secs. 5.1/6.2 report sustained GFLOPS and the LTS
 // update reduction; this module produces the machine-readable evidence).
 //
-// The stepping loop is bulk-synchronous: each phase (predictor, rupture
-// fluxes, corrector) of each cluster is one parallel region entered and
-// left by the orchestrating thread.  PerfMonitor::beginPhase/endPhase
-// bracket those regions -- two steady_clock reads plus one FLOP-counter
-// aggregation per region, negligible against even the smallest cluster's
-// kernel work.
+// The stepping loop runs one persistent parallel region per macro cycle:
+// every worker thread executes its ThreadPlan slice of each phase wave
+// and accumulates (phase, cluster) stats into a private PerfThreadRecorder
+// -- two steady_clock reads plus one thread-local FLOP-counter read per
+// wave, no locks.  Recorders merge into the monitor once per macro cycle
+// (PerfMonitor::mergeThread, mutex-guarded).  Under that model `seconds`
+// is the SUM OF PER-THREAD BUSY SECONDS, not wall time: GFLOP/s derived
+// from it is the average per-busy-second (per-core sustained) rate;
+// divide by the report's `threads` for a per-thread view or use the
+// benchmark's wall-clock `backends` entries for end-to-end speedups.
+//
+// The legacy beginPhase/endPhase bracket is kept for serial callers
+// (tests, tools); it asserts (debug builds) that it is NOT called inside
+// a parallel region, where its single t0_/flops0_ members would be
+// silently overwritten by concurrent callers.
 //
 // Outputs:
 //  * perfReportJson(): the BENCH_kernels.json schema ("tsg-perf-1") with
@@ -31,6 +40,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,11 +78,28 @@ class PerfMonitor {
  public:
   PerfMonitor();
 
+  /// One phase region on the per-cluster trace rows; `thread` >= 0 tags
+  /// which worker produced it (legacy serial path records -1).
+  struct TraceEvent {
+    std::int8_t phase;
+    int cluster;
+    int thread;
+    double beginUs, durUs;
+  };
+
   /// Bracket one phase region.  Must be called from the orchestrating
-  /// thread (outside parallel regions); regions do not nest.
+  /// thread (outside parallel regions -- asserted in debug builds, since
+  /// the single in-flight t0_/flops0_ pair would race); regions do not
+  /// nest.  Inside parallel regions use PerfThreadRecorder instead.
   void beginPhase(Phase p, int cluster);
   void endPhase(Phase p, int cluster, std::uint64_t elements,
                 std::uint64_t bytesEstimate);
+
+  /// Merge one worker thread's accumulated per-(phase, cluster) stats and
+  /// trace events (mutex-guarded; any thread).  `stats[p]` is indexed by
+  /// cluster; short vectors are fine.
+  void mergeThread(const std::vector<PhaseStats> (&stats)[kNumPhases],
+                   const std::vector<TraceEvent>& trace);
 
   /// Aggregate per-name wall time and count of one named span.
   struct SpanStats {
@@ -98,6 +125,8 @@ class PerfMonitor {
   /// Keep a bounded chrome-trace event buffer (default off).
   void enableTrace(std::size_t maxEvents = 1u << 20);
   bool traceEnabled() const { return traceEnabled_; }
+  /// Trace timestamp origin (construction time, clockSeconds() domain).
+  double traceEpoch() const { return epoch_; }
 
   PhaseStats total(Phase p) const;
   const std::vector<PhaseStats>& perCluster(Phase p) const {
@@ -112,11 +141,6 @@ class PerfMonitor {
   void writeChromeTrace(const std::string& path) const;
 
  private:
-  struct TraceEvent {
-    std::int8_t phase;
-    int cluster;
-    double beginUs, durUs;
-  };
   struct NamedEvent {
     const char* name;  // static string, see recordSpan
     double beginUs, durUs;  // durUs < 0: instant event, value_ is the count
@@ -124,6 +148,7 @@ class PerfMonitor {
   };
 
   std::vector<PhaseStats> stats_[kNumPhases];  // indexed by cluster
+  std::mutex mergeMutex_;                      // guards mergeThread
   std::map<std::string, SpanStats> spans_;
   bool traceEnabled_ = false;
   std::size_t maxTraceEvents_ = 0;
@@ -137,6 +162,32 @@ class PerfMonitor {
   double epoch_ = 0;  // construction time, trace timestamp origin
 
   void ensureCluster(int phase, int cluster);
+};
+
+/// Per-thread phase accumulator for the persistent parallel region: one
+/// instance per worker thread per macro cycle, living on that thread's
+/// stack.  begin()/end(...) bracket one wave of one cluster without any
+/// shared state (thread-local FLOP counter, private stats vectors); a
+/// single flush() at region end merges into the monitor under its mutex.
+/// Null-safe: a null monitor makes every call a no-op, so the scheduler's
+/// hot loop needs no perf branches beyond the recorder's own.
+class PerfThreadRecorder {
+ public:
+  PerfThreadRecorder(PerfMonitor* monitor, int numClusters);
+
+  void begin();
+  void end(Phase p, int cluster, std::uint64_t elements,
+           std::uint64_t bytesEstimate);
+  /// Merge into the monitor (thread-safe); call once, after the last wave.
+  void flush(int thread);
+
+ private:
+  PerfMonitor* m_;
+  std::vector<PhaseStats> stats_[kNumPhases];  // indexed by cluster
+  std::vector<PerfMonitor::TraceEvent> trace_;
+  bool captureTrace_ = false;
+  double t0_ = 0;
+  std::uint64_t flops0_ = 0;
 };
 
 /// RAII named span: times its scope into `monitor` (null-safe -- a null
@@ -175,6 +226,7 @@ struct PerfClusterInfo {
 struct PerfBackendResult {
   std::string backend;  // "reference" | "batched" | "fast"
   std::string isa;      // "generic" | "scalar" | "sse2" | "avx2" | "avx512"
+  int threads = 1;      // OpenMP worker threads the timing ran with
   double seconds = 0;
   double speedupVsReference = 0;
 };

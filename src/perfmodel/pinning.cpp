@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 namespace tsg {
 
@@ -55,6 +60,62 @@ NodePinning computeNodePinning(const NodeTopology& node, int ranksPerNode) {
     }
   }
   return pin;
+}
+
+std::vector<int> processCpus() {
+  std::vector<int> cpus;
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) {
+        cpus.push_back(cpu);
+      }
+    }
+  }
+#endif
+  if (cpus.empty()) {
+    const int n = static_cast<int>(std::thread::hardware_concurrency());
+    for (int cpu = 0; cpu < n; ++cpu) {
+      cpus.push_back(cpu);
+    }
+  }
+  return cpus;
+}
+
+std::vector<int> runtimeWorkerCpus(int threads) {
+  const std::vector<int> cpus = processCpus();
+  if (cpus.empty() || threads < 1) {
+    return {};
+  }
+  // Sacrifice the last CPU for comm/IO only when workers leave room for
+  // it; never undersubscribe when threads == CPUs (paper sets the thread
+  // count to leave the core free -- asking for all of them means the
+  // caller wants all of them).
+  const int usable = threads < static_cast<int>(cpus.size())
+                         ? static_cast<int>(cpus.size()) - 1
+                         : static_cast<int>(cpus.size());
+  std::vector<int> workers(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers[t] = cpus[t % usable];
+  }
+  return workers;
+}
+
+bool pinCurrentThreadToCpu(int cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (cpu < 0 || cpu >= CPU_SETSIZE) {
+    return false;
+  }
+  CPU_SET(cpu, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
 }
 
 }  // namespace tsg

@@ -36,4 +36,29 @@ NodePinning computeNodePinning(const NodeTopology& node, int ranksPerNode);
 /// cpu = core * threadsPerCore + smt).
 int numaOfCpu(const NodeTopology& node, int cpu);
 
+// ---- runtime pinning (the Sec. 5.2 policy applied to THIS process) ----
+//
+// The pure computeNodePinning() above models the paper's machines; the
+// functions below apply the same placement ideas to whatever CPUs the
+// current process is actually allowed to run on, so the scheduler's
+// persistent parallel region can pin its workers (SolverConfig::pinThreads
+// / the CLI `pin_threads` key / TSG_PIN=1).
+
+/// Logical CPUs this process may run on, in id order (Linux
+/// sched_getaffinity; falls back to 0..hardware_concurrency-1 elsewhere).
+std::vector<int> processCpus();
+
+/// CPU of each of `threads` workers over processCpus(), core-major in id
+/// order.  When there are MORE allowed CPUs than workers, the last CPU is
+/// left worker-free for comm/IO threads (telemetry flushes, checkpoint
+/// writes) -- the paper's sacrificed core.  When workers fill or exceed
+/// the CPUs, all CPUs are used and assignment wraps around
+/// (oversubscription must never pile every thread on a subset).  Empty
+/// when no CPUs can be detected.
+std::vector<int> runtimeWorkerCpus(int threads);
+
+/// Pin the calling thread to one logical CPU.  Returns false (no-op) on
+/// non-Linux platforms or when the kernel rejects the mask.
+bool pinCurrentThreadToCpu(int cpu);
+
 }  // namespace tsg

@@ -2,69 +2,40 @@
 
 #include <omp.h>
 
+#include <cstdlib>
+
+#include "common/omp_sync.hpp"
+#include "perfmodel/pinning.hpp"
 #include "telemetry/metrics_registry.hpp"
 
 namespace tsg {
 
-namespace {
-
-/// Parallel loop over [0, n) with the schedule as an explicit per-loop
-/// choice: deterministic runs pin a static schedule, everything else uses
-/// dynamic work stealing.  Previously these loops said schedule(runtime)
-/// and read whatever omp_set_schedule state happened to be ambient, so a
-/// library or embedder calling omp_set_schedule could silently perturb
-/// deterministic mode; now the schedule can only come from `deterministic`.
-/// The dynamic chunk is computed per loop from the tile count
-/// (ltsChunkSize), not hard-coded: backends differ by orders of magnitude
-/// in tiles per cluster (a few heavy batches vs thousands of elements).
-template <class F>
-void ompFor(std::size_t n, bool deterministic, int chunk, F&& f) {
-  const std::ptrdiff_t sn = static_cast<std::ptrdiff_t>(n);
-  if (deterministic) {
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < sn; ++i) {
-      f(static_cast<std::size_t>(i));
-    }
-  } else {
-#pragma omp parallel for schedule(dynamic, chunk)
-    for (std::ptrdiff_t i = 0; i < sn; ++i) {
-      f(static_cast<std::size_t>(i));
-    }
+void ClusterScheduler::ensurePlan() {
+  const int threads = std::max(1, omp_get_max_threads());
+  const int nc = s_.clusters->numClusters;
+  std::vector<std::size_t> tilesNow(nc);
+  for (int c = 0; c < nc; ++c) {
+    tilesNow[c] = backend_.numTiles(c);
   }
-}
-
-}  // namespace
-
-void ClusterScheduler::predictorPhase(int cluster, bool resetBuffer) {
-  const std::size_t tiles = backend_.numTiles(cluster);
-  ompFor(tiles, s_.cfg->deterministic,
-         ltsChunkSize(tiles, omp_get_max_threads()), [&](std::size_t t) {
-           backend_.runPredictorTile(cluster, t, resetBuffer);
-         });
-}
-
-void ClusterScheduler::correctorPhase(int cluster) {
-  const std::size_t tiles = backend_.numTiles(cluster);
-  ompFor(tiles, s_.cfg->deterministic,
-         ltsChunkSize(tiles, omp_get_max_threads()), [&](std::size_t t) {
-           backend_.runCorrectorTile(cluster, t, tick_);
-         });
-}
-
-void ClusterScheduler::rupturePhase(int cluster, real dt,
-                                    real stepStartTime) {
-  if (!s_.fault) {
+  const std::int64_t faultFaces = s_.fault ? s_.fault->numFaces() : 0;
+  if (plan_.threads() == threads && planTiles_ == tilesNow &&
+      planFaultFaces_ == faultFaces) {
     return;
   }
-  const std::size_t nf = static_cast<std::size_t>(s_.fault->numFaces());
-  ompFor(nf, s_.cfg->deterministic,
-         ltsChunkSize(nf, omp_get_max_threads()), [&](std::size_t i) {
-           const FaultFace& ff = s_.fault->faceAt(static_cast<int>(i));
-           if (s_.clusters->cluster[ff.minusElem] != cluster) {
-             return;
-           }
-           backend_.stageRuptureFace(static_cast<int>(i), dt, stepStartTime);
-         });
+  plan_ = buildThreadPlan(threads, s_, backend_);
+  planTiles_ = std::move(tilesNow);
+  planFaultFaces_ = faultFaces;
+
+  workerCpus_.clear();
+  const char* env = std::getenv("TSG_PIN");
+  const bool envPin = env && env[0] != '\0' && env[0] != '0';
+  if (s_.cfg->pinThreads || envPin) {
+    workerCpus_ = runtimeWorkerCpus(threads);
+  }
+
+  static Gauge& imbalance =
+      MetricsRegistry::global().gauge("solver.thread_plan_imbalance");
+  imbalance.set(plan_.maxImbalance());
 }
 
 void ClusterScheduler::runMacroCycle(PerfMonitor* perf) {
@@ -72,59 +43,113 @@ void ClusterScheduler::runMacroCycle(PerfMonitor* perf) {
       "solver.macro_cycles", MetricUnit::kCount);
   static Counter& updates = MetricsRegistry::global().counter(
       "solver.element_updates", MetricUnit::kElements);
-  const std::uint64_t updates0 = elementUpdates_;
+  ensurePlan();
+
   const ClusterLayout& clusters = *s_.clusters;
+  const int nc = clusters.numClusters;
   const std::int64_t ticksPerMacro = clusters.ticksPerMacro();
-  for (std::int64_t step = 0; step < ticksPerMacro; ++step) {
-    // Predictor phase at the current tick.
-    for (int c = 0; c < clusters.numClusters; ++c) {
-      const std::int64_t span = clusters.spanOf(c);
-      if (tick_ % span != 0) {
-        continue;
-      }
-      const std::size_t nElems = clusters.elementsOfCluster[c].size();
-      // The coarser neighbour consumes the buffer once per `rate` of our
-      // steps; restart the accumulation at its step boundaries.
-      const bool reset = tick_ % (span * clusters.rate) == 0;
-      if (perf) {
-        perf->beginPhase(Phase::kPredictor, c);
-      }
-      predictorPhase(c, reset);
-      if (perf) {
-        perf->endPhase(Phase::kPredictor, c, nElems,
-                       nElems * predictorBytesPerElement());
-      }
+  const std::int64_t tick0 = tick_;
+  const int rate = clusters.rate;
+  const real dtMin = clusters.dtMin;
+  const bool haveFault = s_.fault && s_.fault->numFaces() > 0;
+  const std::uint64_t predBytes = predictorBytesPerElement();
+  const std::uint64_t corrBytes = correctorBytesPerElement();
+  const std::uint64_t rupBytes = ruptureBytesPerFace();
+  const int numThreads = plan_.threads();
+
+  tsanRelease();  // publish plan_/state writes to the workers
+#pragma omp parallel num_threads(numThreads)
+  {
+    tsanAcquire();
+    const int tid = omp_get_thread_num();
+    if (!workerCpus_.empty()) {
+      pinCurrentThreadToCpu(
+          workerCpus_[static_cast<std::size_t>(tid) % workerCpus_.size()]);
     }
-    ++tick_;
-    // Corrector phase for intervals ending at the new tick.
-    for (int c = 0; c < clusters.numClusters; ++c) {
-      const std::int64_t span = clusters.spanOf(c);
-      if (tick_ % span != 0) {
-        continue;
+    PerfThreadRecorder rec(perf, nc);
+    // Every thread derives the tick from its private loop counter; the
+    // shared clock is only committed after the region.  All threads thus
+    // agree on each tick's due set and execute the same barrier sequence.
+    for (std::int64_t step = 0; step < ticksPerMacro; ++step) {
+      const std::int64_t t = tick0 + step;
+
+      // Predictor wave at tick t.
+      for (int c = 0; c < nc; ++c) {
+        const std::int64_t span = clusters.spanOf(c);
+        if (t % span != 0) {
+          continue;
+        }
+        // The coarser neighbour consumes the buffer once per `rate` of
+        // our steps; restart the accumulation at its step boundaries.
+        const bool reset = t % (span * rate) == 0;
+        const TileRange r = plan_.tiles(c, tid);
+        rec.begin();
+        for (int i = r.begin; i < r.end; ++i) {
+          backend_.runPredictorTile(c, static_cast<std::size_t>(i), reset);
+        }
+        const std::uint64_t elems = plan_.elementsIn(c, r);
+        rec.end(Phase::kPredictor, c, elems, elems * predBytes);
       }
-      const real dt = clusters.dtMin * static_cast<real>(span);
-      const std::uint64_t faultFaces =
-          s_.fault ? static_cast<std::uint64_t>(s_.faultFacesOfCluster[c]) : 0;
-      if (perf) {
-        perf->beginPhase(Phase::kRuptureFlux, c);
+      tsanRelease();
+#pragma omp barrier
+      tsanAcquire();
+
+      const std::int64_t tEnd = t + 1;
+      if (haveFault) {
+        // Rupture wave: stage flux traces of every face whose element
+        // interval ends at tEnd (both face elements share the cluster, so
+        // their stacks are fresh from the wave above).
+        for (int c = 0; c < nc; ++c) {
+          const std::int64_t span = clusters.spanOf(c);
+          if (tEnd % span != 0) {
+            continue;
+          }
+          const TileRange r = plan_.faultFaces(c, tid);
+          const real dt = dtMin * static_cast<real>(span);
+          const real stepStart = dtMin * static_cast<real>(tEnd - span);
+          const std::vector<int>& faces = s_.faultFaceIdsOfCluster[c];
+          rec.begin();
+          for (int i = r.begin; i < r.end; ++i) {
+            backend_.stageRuptureFace(faces[i], dt, stepStart);
+          }
+          const std::uint64_t nf = static_cast<std::uint64_t>(r.count());
+          rec.end(Phase::kRuptureFlux, c, nf, nf * rupBytes);
+        }
+        tsanRelease();
+#pragma omp barrier
+        tsanAcquire();
       }
-      rupturePhase(c, dt, clusters.dtMin * static_cast<real>(tick_ - span));
-      if (perf) {
-        perf->endPhase(Phase::kRuptureFlux, c, faultFaces,
-                       faultFaces * ruptureBytesPerFace());
-        perf->beginPhase(Phase::kCorrector, c);
+
+      // Corrector wave for intervals ending at tEnd.
+      for (int c = 0; c < nc; ++c) {
+        const std::int64_t span = clusters.spanOf(c);
+        if (tEnd % span != 0) {
+          continue;
+        }
+        const TileRange r = plan_.tiles(c, tid);
+        rec.begin();
+        for (int i = r.begin; i < r.end; ++i) {
+          backend_.runCorrectorTile(c, static_cast<std::size_t>(i), tEnd);
+        }
+        const std::uint64_t elems = plan_.elementsIn(c, r);
+        rec.end(Phase::kCorrector, c, elems, elems * corrBytes);
       }
-      correctorPhase(c);
-      const std::size_t nElems = clusters.elementsOfCluster[c].size();
-      if (perf) {
-        perf->endPhase(Phase::kCorrector, c, nElems,
-                       nElems * correctorBytesPerElement());
-      }
-      elementUpdates_ += nElems;
+      tsanRelease();
+#pragma omp barrier
+      tsanAcquire();
     }
+    rec.flush(tid);
+    tsanRelease();  // publish this worker's writes to the join
   }
+  tsanAcquire();
+
+  tick_ += ticksPerMacro;
+  // Identical to summing each corrector wave's element count: cluster c
+  // runs ticksPerMacro / spanOf(c) correctors per cycle.
+  elementUpdates_ +=
+      static_cast<std::uint64_t>(clusters.updatesPerMacroCycleLts());
   macroCycles.add(1);
-  updates.add(elementUpdates_ - updates0);
+  updates.add(static_cast<std::uint64_t>(clusters.updatesPerMacroCycleLts()));
 }
 
 // Analytic main-memory traffic models (streamed arrays only; reference

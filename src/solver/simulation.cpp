@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -10,6 +11,7 @@
 #include <type_traits>
 
 #include "basis/dubiner.hpp"
+#include "common/omp_sync.hpp"
 #include "checkpoint/checkpoint.hpp"
 #include "geometry/reference_tet.hpp"
 #include "kernels/element_kernels.hpp"
@@ -203,21 +205,28 @@ void Simulation::setupFaces() {
 void Simulation::setInitialCondition(const InitialCondition& f) {
   const int n = mesh_.numElements();
   const int nvq = static_cast<int>(rm_.volQuadXi.size());
-#pragma omp parallel for schedule(static)
-  for (int e = 0; e < n; ++e) {
-    real* q = state_.dofsOf(e);
-    std::memset(q, 0, sizeof(real) * state_.nbq);
-    for (int i = 0; i < nvq; ++i) {
-      const Vec3 x = mesh_.toPhysical(e, rm_.volQuadXi[i]);
-      const auto val = f(x, mesh_.elements[e].material);
-      for (int l = 0; l < rm_.nb; ++l) {
-        const real w = rm_.volQuadW[i] * rm_.volEval(i, l);
-        for (int p = 0; p < kNumQuantities; ++p) {
-          q[l * kNumQuantities + p] += w * val[p];
+  tsanRelease();
+#pragma omp parallel
+  {
+    tsanAcquire();
+#pragma omp for schedule(static)
+    for (int e = 0; e < n; ++e) {
+      real* q = state_.dofsOf(e);
+      std::memset(q, 0, sizeof(real) * state_.nbq);
+      for (int i = 0; i < nvq; ++i) {
+        const Vec3 x = mesh_.toPhysical(e, rm_.volQuadXi[i]);
+        const auto val = f(x, mesh_.elements[e].material);
+        for (int l = 0; l < rm_.nb; ++l) {
+          const real w = rm_.volQuadW[i] * rm_.volEval(i, l);
+          for (int p = 0; p < kNumQuantities; ++p) {
+            q[l * kNumQuantities + p] += w * val[p];
+          }
         }
       }
     }
+    tsanRelease();
   }
+  tsanAcquire();
 }
 
 void Simulation::setupFault(const FaultInitFn& init) {
@@ -241,10 +250,19 @@ void Simulation::setupFault(const FaultInitFn& init) {
   state_.ruptureFlux.assign(static_cast<std::size_t>(fault_->numFaces()) * 2 *
                                 rm_.nq * kNumQuantities,
                             0.0);
-  state_.faultFacesOfCluster.assign(clusters_.numClusters, 0);
+  // Per-cluster fault-face id lists: the scheduler's rupture wave walks
+  // exactly its cluster's faces (ascending face order within a cluster,
+  // so the staging order is reproducible) instead of scanning all faces.
+  state_.faultFaceIdsOfCluster.assign(clusters_.numClusters, {});
   for (int i = 0; i < fault_->numFaces(); ++i) {
-    ++state_.faultFacesOfCluster[clusters_.cluster[fault_->faceAt(i)
-                                                       .minusElem]];
+    state_.faultFaceIdsOfCluster[clusters_.cluster[fault_->faceAt(i)
+                                                       .minusElem]]
+        .push_back(i);
+  }
+  state_.faultFacesOfCluster.assign(clusters_.numClusters, 0);
+  for (int c = 0; c < clusters_.numClusters; ++c) {
+    state_.faultFacesOfCluster[c] =
+        static_cast<std::int64_t>(state_.faultFaceIdsOfCluster[c].size());
   }
   // Rupture faceAux assignments change the batch-ordered face metadata.
   backend_->invalidateLayout();
@@ -328,7 +346,11 @@ PerfReportMeta Simulation::perfReportMeta(const std::string& scenario) const {
   meta.backend = backend_->name();
   meta.isa = backend_->isa();
   meta.degree = cfg_.degree;
-  meta.threads = omp_get_max_threads();
+  // Prefer the thread count the scheduler actually ran with; ambient
+  // omp_get_max_threads() may have changed since (it is only the fallback
+  // before the first macro cycle).
+  meta.threads = scheduler_->planThreads() > 0 ? scheduler_->planThreads()
+                                               : omp_get_max_threads();
   meta.batchSize = backend_->reportBatchSize();
   meta.elements = mesh_.numElements();
   meta.ltsRate = clusters_.rate;
@@ -559,18 +581,35 @@ void Simulation::restoreCheckpoint(const std::string& path) {
 
 int Simulation::firstNonFiniteElement() const {
   const int n = mesh_.numElements();
-  int first = n;
-#pragma omp parallel for schedule(static) reduction(min : first)
-  for (int e = 0; e < n; ++e) {
-    const real* q = state_.dofsOf(e);
-    for (int i = 0; i < state_.nbq; ++i) {
-      if (!std::isfinite(q[i])) {
-        first = std::min(first, e);
-        break;
+  // Hand-rolled min reduction: thread-local scan, then one CAS merge.
+  // (An `omp reduction` combines inside uninstrumented libgomp, which
+  // TSan cannot see; a std::atomic merge is equivalent and visible.)
+  std::atomic<int> first{n};
+  tsanRelease();
+#pragma omp parallel
+  {
+    tsanAcquire();
+    int mine = n;
+#pragma omp for schedule(static) nowait
+    for (int e = 0; e < n; ++e) {
+      const real* q = state_.dofsOf(e);
+      for (int i = 0; i < state_.nbq; ++i) {
+        if (!std::isfinite(q[i])) {
+          mine = std::min(mine, e);
+          break;
+        }
       }
     }
+    int cur = first.load(std::memory_order_relaxed);
+    while (mine < cur &&
+           !first.compare_exchange_weak(cur, mine,
+                                        std::memory_order_acq_rel)) {
+    }
+    tsanRelease();
   }
-  return first == n ? -1 : first;
+  tsanAcquire();
+  const int f = first.load(std::memory_order_relaxed);
+  return f == n ? -1 : f;
 }
 
 void Simulation::debugInjectNonFinite(int elem) {

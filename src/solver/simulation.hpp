@@ -91,6 +91,11 @@ class Simulation {
   const ClusterLayout& clusters() const { return clusters_; }
   const GravityBoundary* gravitySurface() const { return gravity_.get(); }
   const FaultSolver* fault() const { return fault_.get(); }
+  /// Fault-face ids whose (shared) cluster is c, ascending; the rupture
+  /// wave iterates exactly this list.  Empty before setupFault.
+  const std::vector<int>& faultFaceIdsOfCluster(int c) const {
+    return state_.faultFaceIdsOfCluster[c];
+  }
   const Receiver& receiver(int i) const { return state_.receivers[i]; }
   int numReceivers() const {
     return static_cast<int>(state_.receivers.size());

@@ -38,6 +38,14 @@ struct SolverConfig {
   KernelPath kernelPath = KernelPath::kBatched;
   int batchSize = 0;  // elements per batch tile; <= 0 selects an L2-sized
                       // default (see autoBatchSize)
+  // Pin the persistent parallel region's worker threads to cores
+  // (perfmodel/pinning runtime policy, paper Sec. 5.2).  Off by default:
+  // affinity is process-global state and embedders/MPI launchers often
+  // manage it themselves.  Set via the CLI `pin_threads` key or TSG_PIN=1.
+  // Execution strategy only -- excluded from configHash() like
+  // `deterministic`, and it never affects results (the ThreadPlan slicing
+  // is bitwise-neutral; see solver/thread_plan.hpp).
+  bool pinThreads = false;
 };
 
 /// q(x, material) -> initial state.

@@ -205,8 +205,18 @@ double RunTelemetry::etaSeconds(double simTime) const {
   }
   const Progress& a = window_.front();
   const Progress& b = window_.back();
-  const double rate = (b.simTime - a.simTime) / (b.wall - a.wall);
-  return rate > 0 ? (o_.endTime - simTime) / rate : -1.0;
+  // A stalled window (b.simTime == a.simTime, e.g. immediately after a
+  // resume re-seeds it) or one narrower than the wall clock's resolution
+  // has no finite rate: report "not yet known" instead of letting the
+  // division produce inf/nan that would poison the status JSON.
+  const double dSim = b.simTime - a.simTime;
+  const double dWall = b.wall - a.wall;
+  if (!(dSim > 0) || !(dWall > 0)) {
+    return -1.0;
+  }
+  const double rate = dSim / dWall;
+  const double eta = (o_.endTime - simTime) / rate;
+  return std::isfinite(eta) ? eta : -1.0;
 }
 
 double RunTelemetry::recentUpdatesPerSecond() const {
@@ -230,7 +240,11 @@ std::string RunTelemetry::statusJson(const Simulation& sim,
   out += ",\n  \"time\": " + jsonNumber(t);
   out += ",\n  \"end_time\": " + jsonNumber(o_.endTime);
   out += ",\n  \"progress_percent\": " + jsonNumber(progress);
-  out += ",\n  \"eta_seconds\": " + jsonNumber(etaSeconds(t));
+  // -1 = not yet known (cold or stalled progress window): emit null so
+  // consumers never see a sentinel (or an inf/nan) as a real ETA.
+  const double eta = etaSeconds(t);
+  out += ",\n  \"eta_seconds\": ";
+  out += eta >= 0 && std::isfinite(eta) ? jsonNumber(eta) : "null";
   out += ",\n  \"wall_seconds\": " + jsonNumber(wallSeconds() - wallStart_);
   out += ",\n  \"tick\": " + std::to_string(sim.tick());
   out += ",\n  \"element_updates\": " + std::to_string(sim.elementUpdates());

@@ -1,3 +1,5 @@
+#include <omp.h>
+
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -203,6 +205,43 @@ TEST(LtsDeep, BatchedPipelineMatchesReferenceBitwiseAtRates2And4) {
     EXPECT_EQ(0, std::memcmp(qr.data(), qb.data(), qr.size() * sizeof(real)))
         << "rate " << rate;
   }
+}
+
+TEST(LtsDeep, Rate4ThreadedMatchesSerialBitwise) {
+  // Cross-check the persistent-parallel-region scheduler against a serial
+  // run at the generalised rate, where the wave/barrier schedule is least
+  // forgiving: deep spans mean most ticks touch only the finest cluster,
+  // so any misplaced barrier or wrong due-set shows up as a bitwise diff.
+  const int saved = omp_get_max_threads();
+  const Mesh mesh = threeLayerMesh();
+  const auto mats = threeLayerMaterials();
+  auto run = [&](int threads) {
+    omp_set_num_threads(threads);
+    SolverConfig cfg;
+    cfg.degree = 3;
+    cfg.gravity = 0;
+    cfg.ltsRate = 4;
+    cfg.deterministic = true;
+    auto sim = std::make_unique<Simulation>(mesh, mats, cfg);
+    sim->setInitialCondition([](const Vec3& x, int) {
+      std::array<real, 9> q{};
+      const real g = std::exp(-norm2(x - Vec3{0.5, 0.5, 0.6}) / 0.03);
+      q[kSxx] = q[kSyy] = q[kSzz] = g;
+      q[kVz] = 0.3 * g;
+      return q;
+    });
+    sim->advanceTo(2.999 * sim->macroDt());
+    return sim;
+  };
+  const auto serial = run(1);
+  const auto threaded = run(4);
+  omp_set_num_threads(saved);
+  ASSERT_GE(serial->clusters().numClusters, 2);
+  ASSERT_EQ(serial->tick(), threaded->tick());
+  const auto& qs = serial->dofsData();
+  const auto& qt = threaded->dofsData();
+  ASSERT_EQ(qs.size(), qt.size());
+  EXPECT_EQ(0, std::memcmp(qs.data(), qt.data(), qs.size() * sizeof(real)));
 }
 
 TEST(LtsDeep, UpdateCountMatchesClusterHistogram) {

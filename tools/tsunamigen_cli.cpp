@@ -28,6 +28,8 @@
 //   4  I/O failure (unwritable output, unreadable/corrupt checkpoint)
 //   1  any other error
 
+#include <omp.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -72,6 +74,10 @@ metrics_interval    = 0            # [s] of simulated time between physics sampl
 kernel_path         = batched      # reference (per element) | batched (fused cluster
                                    # tiles, bitwise == reference) | fast (per-ISA SIMD
                                    # kernels, runtime cpuid dispatch, ~1e-9 vs reference)
+threads             = 0            # OpenMP worker threads; 0 = OMP_NUM_THREADS/default.
+                                   # Results are bitwise identical across thread counts.
+pin_threads         = false        # pin workers to cores (paper Sec. 5.2 placement;
+                                   # also enabled by TSG_PIN=1)
 # batch_size        = 0            # elements per batch tile; 0 = auto L2-sized (expert)
 # cfl_fraction      = 0.35         # override the CFL fraction (expert)
 )";
@@ -94,6 +100,8 @@ struct CliOptions {
   real cflFraction = 0;      // 0 = scenario default
   KernelPath kernelPath = KernelPath::kBatched;
   int batchSize = 0;  // 0 = auto
+  int threads = 0;    // 0 = ambient OpenMP default
+  bool pinThreads = false;
   // Set from the command line, not the config file.
   std::string perfReportPath;  // empty = no report
   std::string tracePath;       // empty = no chrome trace
@@ -132,6 +140,12 @@ CliOptions readOptions(const ConfigFile& cfg) {
     throw ConfigError("batch_size must be >= 0 (got " +
                       std::to_string(o.batchSize) + ")");
   }
+  o.threads = cfg.getInt("threads", 0);
+  if (o.threads < 0) {
+    throw ConfigError("threads must be >= 0 (got " +
+                      std::to_string(o.threads) + ")");
+  }
+  o.pinThreads = cfg.getBool("pin_threads", false);
   for (const auto& key : cfg.unusedKeys()) {
     logWarn("config_unknown_key",
             "unknown configuration key '" + key + "'",
@@ -184,6 +198,7 @@ void applySolverOptions(SolverConfig& sc, const CliOptions& o) {
   sc.deterministic = o.deterministic;
   sc.kernelPath = o.kernelPath;
   sc.batchSize = o.batchSize;
+  sc.pinThreads = o.pinThreads;
   if (o.cflFraction > 0) {
     sc.cflFraction = o.cflFraction;
   }
@@ -327,6 +342,11 @@ int run(const std::string& configPath, const std::string& perfReportRequest,
         statusRequest == "*" ? o.prefix + "_status.json" : statusRequest;
   }
 
+  if (o.threads > 0) {
+    // Before buildSimulation: per-thread scratch and the scheduler's
+    // ThreadPlan follow the ambient count at first use.
+    omp_set_num_threads(o.threads);
+  }
   std::unique_ptr<Simulation> sim = buildSimulation(o);
   if (!o.perfReportPath.empty() || !o.tracePath.empty()) {
     sim->enablePerfMonitor(!o.tracePath.empty());
