@@ -5,6 +5,7 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/errors.hpp"
 
@@ -24,6 +25,68 @@ std::string trim(const std::string& s) {
   return s.substr(a, b - a);
 }
 
+bool validSectionName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == '.' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Shared by the top-level and section getters so both scopes reject the
+// same malformed spellings with the same wording (only the key path
+// differs).
+double parseNumberValue(const std::string& keyPath, const std::string& text) {
+  // std::stod alone would accept trailing garbage ("10.0abc" -> 10.0) and
+  // non-finite spellings ("nan", "inf", "1e999"); neither is ever a valid
+  // solver parameter, so both are hard errors rather than silent defaults.
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::out_of_range&) {
+    // "1e999" overflows double: report it as the range problem it is
+    // rather than a syntax error.
+    throw ConfigError("ConfigFile: not a finite number: " + keyPath + " = " +
+                      text);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size()) {
+    throw ConfigError("ConfigFile: not a number: " + keyPath + " = " + text);
+  }
+  if (!std::isfinite(v)) {
+    throw ConfigError("ConfigFile: not a finite number: " + keyPath + " = " +
+                      text);
+  }
+  return v;
+}
+
+int toIntValue(const std::string& keyPath, double v) {
+  if (v != std::floor(v)) {
+    throw ConfigError("ConfigFile: not an integer: " + keyPath);
+  }
+  return static_cast<int>(v);
+}
+
+bool parseBoolValue(const std::string& keyPath, const std::string& text) {
+  std::string v = text;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") {
+    return true;
+  }
+  if (v == "false" || v == "no" || v == "off" || v == "0") {
+    return false;
+  }
+  throw ConfigError("ConfigFile: not a boolean: " + keyPath + " = " + text);
+}
+
 }  // namespace
 
 ConfigFile ConfigFile::load(const std::string& path) {
@@ -41,6 +104,12 @@ ConfigFile ConfigFile::parse(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   int lineNo = 0;
+  // nullptr while in the top-level scope, else the open section.
+  SectionData* scope = nullptr;
+  // name -> repeatable flag of its first header, to reject [x] after
+  // [[x]] (and vice versa) and a second [x].
+  std::map<std::string, bool> headerKind;
+  std::map<std::string, int> repeatCount;
   while (std::getline(in, line)) {
     ++lineNo;
     const std::size_t hash = line.find('#');
@@ -49,6 +118,47 @@ ConfigFile ConfigFile::parse(const std::string& text) {
     }
     line = trim(line);
     if (line.empty()) {
+      continue;
+    }
+    if (line.front() == '[') {
+      const bool repeatable = line.size() >= 2 && line[1] == '[';
+      const std::string close = repeatable ? "]]" : "]";
+      if (line.size() < close.size() + (repeatable ? 2 : 1) ||
+          line.compare(line.size() - close.size(), close.size(), close) != 0) {
+        throw ConfigError("ConfigFile: malformed section header on line " +
+                          std::to_string(lineNo) + ": " + line);
+      }
+      const std::string name = trim(line.substr(
+          repeatable ? 2 : 1, line.size() - 2 * (repeatable ? 2 : 1)));
+      if (!validSectionName(name)) {
+        throw ConfigError("ConfigFile: invalid section name on line " +
+                          std::to_string(lineNo) + ": " + line);
+      }
+      const auto kind = headerKind.find(name);
+      if (kind != headerKind.end()) {
+        if (kind->second != repeatable) {
+          throw ConfigError("ConfigFile: section [" + name +
+                            "] mixes [" + name + "] and [[" + name +
+                            "]] headers (line " + std::to_string(lineNo) +
+                            ")");
+        }
+        if (!repeatable) {
+          throw ConfigError("ConfigFile: duplicate section [" + name +
+                            "] on line " + std::to_string(lineNo) +
+                            " (use [[" + name + "]] for repeated sections)");
+        }
+      } else {
+        headerKind[name] = repeatable;
+      }
+      SectionData sec;
+      sec.name = name;
+      sec.repeatable = repeatable;
+      sec.headerLine = lineNo;
+      sec.path = repeatable
+                     ? name + "[" + std::to_string(repeatCount[name]++) + "]"
+                     : name;
+      cfg.sections_.push_back(std::move(sec));
+      scope = &cfg.sections_.back();
       continue;
     }
     const std::size_t eq = line.find('=');
@@ -62,7 +172,15 @@ ConfigFile ConfigFile::parse(const std::string& text) {
       throw ConfigError("ConfigFile: empty key on line " +
                         std::to_string(lineNo));
     }
-    cfg.values_[key] = value;
+    auto& values = scope ? scope->values : cfg.values_;
+    const auto prior = values.find(key);
+    if (prior != values.end()) {
+      const std::string where = scope ? scope->path + "." + key : key;
+      throw ConfigError("ConfigFile: duplicate key " + where + " on line " +
+                        std::to_string(lineNo) + " (first set on line " +
+                        std::to_string(prior->second.line) + ")");
+    }
+    values[key] = Entry{value, lineNo};
   }
   return cfg;
 }
@@ -75,7 +193,7 @@ std::string ConfigFile::getString(const std::string& key,
                                   const std::string& dflt) const {
   used_.insert(key);
   const auto it = values_.find(key);
-  return it == values_.end() ? dflt : it->second;
+  return it == values_.end() ? dflt : it->second.text;
 }
 
 double ConfigFile::getNumber(const std::string& key, double dflt) const {
@@ -84,33 +202,11 @@ double ConfigFile::getNumber(const std::string& key, double dflt) const {
   if (it == values_.end()) {
     return dflt;
   }
-  // std::stod alone would accept trailing garbage ("10.0abc" -> 10.0) and
-  // non-finite spellings ("nan", "inf", "1e999"); neither is ever a valid
-  // solver parameter, so both are hard errors rather than silent defaults.
-  std::size_t pos = 0;
-  double v = 0;
-  try {
-    v = std::stod(it->second, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (pos != it->second.size()) {
-    throw ConfigError("ConfigFile: not a number: " + key + " = " +
-                      it->second);
-  }
-  if (!std::isfinite(v)) {
-    throw ConfigError("ConfigFile: not a finite number: " + key + " = " +
-                      it->second);
-  }
-  return v;
+  return parseNumberValue(key, it->second.text);
 }
 
 int ConfigFile::getInt(const std::string& key, int dflt) const {
-  const double v = getNumber(key, dflt);
-  if (v != std::floor(v)) {
-    throw ConfigError("ConfigFile: not an integer: " + key);
-  }
-  return static_cast<int>(v);
+  return toIntValue(key, getNumber(key, dflt));
 }
 
 bool ConfigFile::getBool(const std::string& key, bool dflt) const {
@@ -119,16 +215,7 @@ bool ConfigFile::getBool(const std::string& key, bool dflt) const {
   if (it == values_.end()) {
     return dflt;
   }
-  std::string v = it->second;
-  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
-  if (v == "true" || v == "yes" || v == "on" || v == "1") {
-    return true;
-  }
-  if (v == "false" || v == "no" || v == "off" || v == "0") {
-    return false;
-  }
-  throw ConfigError("ConfigFile: not a boolean: " + key + " = " +
-                    it->second);
+  return parseBoolValue(key, it->second.text);
 }
 
 std::set<std::string> ConfigFile::unusedKeys() const {
@@ -140,6 +227,161 @@ std::set<std::string> ConfigFile::unusedKeys() const {
     }
   }
   return unused;
+}
+
+std::vector<ConfigSection> ConfigFile::sections(const std::string& name) const {
+  std::vector<ConfigSection> out;
+  for (int i = 0; i < static_cast<int>(sections_.size()); ++i) {
+    if (sections_[i].name == name) {
+      out.push_back(ConfigSection(this, i));
+    }
+  }
+  return out;
+}
+
+bool ConfigFile::hasSection(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ConfigSection ConfigFile::uniqueSection(const std::string& name) const {
+  const auto all = sections(name);
+  if (all.empty()) {
+    throw ConfigError("ConfigFile: missing required section [" + name + "]");
+  }
+  if (all.size() > 1) {
+    throw ConfigError("ConfigFile: section [" + name +
+                      "] appears " + std::to_string(all.size()) +
+                      " times but must be unique");
+  }
+  return all.front();
+}
+
+std::vector<std::string> ConfigFile::sectionNames() const {
+  std::vector<std::string> names;
+  for (const auto& s : sections_) {
+    if (std::find(names.begin(), names.end(), s.name) == names.end()) {
+      names.push_back(s.name);
+    }
+  }
+  return names;
+}
+
+// ---- ConfigSection ----------------------------------------------------
+
+const std::string& ConfigSection::name() const {
+  return file_->sectionAt(index_).name;
+}
+
+const std::string& ConfigSection::path() const {
+  return file_->sectionAt(index_).path;
+}
+
+int ConfigSection::headerLine() const {
+  return file_->sectionAt(index_).headerLine;
+}
+
+bool ConfigSection::has(const std::string& key) const {
+  return file_->sectionAt(index_).values.count(key) > 0;
+}
+
+std::string ConfigSection::getString(const std::string& key,
+                                     const std::string& dflt) const {
+  const auto& sec = file_->sectionAt(index_);
+  sec.used.insert(key);
+  const auto it = sec.values.find(key);
+  return it == sec.values.end() ? dflt : it->second.text;
+}
+
+double ConfigSection::getNumber(const std::string& key, double dflt) const {
+  const auto& sec = file_->sectionAt(index_);
+  sec.used.insert(key);
+  const auto it = sec.values.find(key);
+  if (it == sec.values.end()) {
+    return dflt;
+  }
+  return parseNumberValue(sec.path + "." + key, it->second.text);
+}
+
+int ConfigSection::getInt(const std::string& key, int dflt) const {
+  const auto& sec = file_->sectionAt(index_);
+  return toIntValue(sec.path + "." + key, getNumber(key, dflt));
+}
+
+bool ConfigSection::getBool(const std::string& key, bool dflt) const {
+  const auto& sec = file_->sectionAt(index_);
+  sec.used.insert(key);
+  const auto it = sec.values.find(key);
+  if (it == sec.values.end()) {
+    return dflt;
+  }
+  return parseBoolValue(sec.path + "." + key, it->second.text);
+}
+
+std::string ConfigSection::requireString(const std::string& key) const {
+  const auto& sec = file_->sectionAt(index_);
+  sec.used.insert(key);
+  const auto it = sec.values.find(key);
+  if (it == sec.values.end()) {
+    throw ConfigError("ConfigFile: missing required key " + sec.path + "." +
+                      key);
+  }
+  return it->second.text;
+}
+
+double ConfigSection::requireNumber(const std::string& key) const {
+  const auto& sec = file_->sectionAt(index_);
+  return parseNumberValue(sec.path + "." + key, requireString(key));
+}
+
+int ConfigSection::requireInt(const std::string& key) const {
+  const auto& sec = file_->sectionAt(index_);
+  return toIntValue(sec.path + "." + key, requireNumber(key));
+}
+
+std::set<std::string> ConfigSection::unusedKeys() const {
+  const auto& sec = file_->sectionAt(index_);
+  std::set<std::string> unused;
+  for (const auto& [k, v] : sec.values) {
+    (void)v;
+    if (!sec.used.count(k)) {
+      unused.insert(k);
+    }
+  }
+  return unused;
+}
+
+std::vector<double> ConfigSection::getNumberList(const std::string& key) const {
+  const auto& sec = file_->sectionAt(index_);
+  sec.used.insert(key);
+  const auto it = sec.values.find(key);
+  std::vector<double> out;
+  if (it == sec.values.end()) {
+    return out;
+  }
+  const std::string& text = it->second.text;
+  const std::string keyPath = sec.path + "." + key;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item = trim(
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start));
+    if (item.empty()) {
+      throw ConfigError("ConfigFile: empty entry in list " + keyPath + " = " +
+                        text);
+    }
+    out.push_back(parseNumberValue(keyPath, item));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace tsg

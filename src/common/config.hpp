@@ -4,12 +4,73 @@
 // SeisSol's parameter files).  Supports comments (#), strings, numbers,
 // booleans, and reports unknown keys so typos do not silently fall back
 // to defaults.
+//
+// On top of the flat key = value layer the format supports INI-style
+// sections used by the scenario DSL:
+//
+//   [mesh]            # a unique section: at most one per file
+//   key = value
+//
+//   [[fault.segment]] # a repeatable section: forms an ordered array
+//   key = value
+//
+// Keys before the first section header are "top level" and are accessed
+// through the ConfigFile getters, exactly as before.  Section keys are
+// accessed through ConfigSection views, whose error messages carry the
+// fully-qualified key path (e.g. "fault.segment[1].offset") so a bad
+// value in a large scenario file is locatable at a glance.
+//
+// Duplicate keys within one scope are a hard ConfigError (a
+// sweep-generated config with a repeated key must not silently
+// half-apply), as is re-opening a unique [section] or mixing [name] and
+// [[name]] headers for the same name.
 
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace tsg {
+
+class ConfigFile;
+
+/// Read-only view of one section's key/value scope.  Getters mirror the
+/// ConfigFile ones but qualify every diagnostic with the section path.
+class ConfigSection {
+ public:
+  /// Section name as written in the header (e.g. "fault.segment").
+  const std::string& name() const;
+  /// Qualified path: "mesh" for unique sections, "fault.segment[1]" for
+  /// the second element of a repeatable section.
+  const std::string& path() const;
+  /// 1-based line number of the section header in the source text.
+  int headerLine() const;
+
+  bool has(const std::string& key) const;
+  std::string getString(const std::string& key, const std::string& dflt) const;
+  double getNumber(const std::string& key, double dflt) const;
+  int getInt(const std::string& key, int dflt) const;
+  bool getBool(const std::string& key, bool dflt) const;
+
+  /// Like the get* forms but the key must be present; throws ConfigError
+  /// naming the qualified key path when it is missing.
+  std::string requireString(const std::string& key) const;
+  double requireNumber(const std::string& key) const;
+  int requireInt(const std::string& key) const;
+
+  /// Comma-separated list of numbers ("0, 1500, 3000"); empty vector when
+  /// the key is absent.  Malformed entries are ConfigErrors.
+  std::vector<double> getNumberList(const std::string& key) const;
+
+  /// Keys present in this section but never queried.
+  std::set<std::string> unusedKeys() const;
+
+ private:
+  friend class ConfigFile;
+  ConfigSection(const ConfigFile* file, int index) : file_(file), index_(index) {}
+  const ConfigFile* file_;
+  int index_;
+};
 
 class ConfigFile {
  public:
@@ -27,12 +88,44 @@ class ConfigFile {
   int getInt(const std::string& key, int dflt) const;
   bool getBool(const std::string& key, bool dflt) const;
 
-  /// Keys present in the file but never queried (call after reading all
-  /// options to catch typos).
+  /// Top-level keys present in the file but never queried (call after
+  /// reading all options to catch typos).
   std::set<std::string> unusedKeys() const;
 
+  // ---- sections (scenario DSL) ----------------------------------------
+  /// True if the file declares any [section] / [[section]] headers.
+  bool hasSections() const { return !sections_.empty(); }
+  /// All section occurrences with this name, in file order.  For unique
+  /// sections the vector has zero or one element.
+  std::vector<ConfigSection> sections(const std::string& name) const;
+  bool hasSection(const std::string& name) const;
+  /// The single occurrence of [name]; throws ConfigError if the name is
+  /// absent or occurs more than once.
+  ConfigSection uniqueSection(const std::string& name) const;
+  /// Distinct section names appearing in the file, in first-appearance
+  /// order (drives unknown-section checks).
+  std::vector<std::string> sectionNames() const;
+
  private:
-  std::map<std::string, std::string> values_;
+  friend class ConfigSection;
+
+  struct Entry {
+    std::string text;
+    int line = 0;
+  };
+  struct SectionData {
+    std::string name;          // as written in the header
+    std::string path;          // qualified ("mesh" or "fault.segment[0]")
+    bool repeatable = false;   // [[name]] vs [name]
+    int headerLine = 0;
+    std::map<std::string, Entry> values;
+    mutable std::set<std::string> used;
+  };
+
+  const SectionData& sectionAt(int index) const { return sections_[index]; }
+
+  std::map<std::string, Entry> values_;
+  std::vector<SectionData> sections_;
   mutable std::set<std::string> used_;
 };
 

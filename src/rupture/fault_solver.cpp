@@ -174,8 +174,9 @@ void FaultSolver::computeFluxes(int i, const ReferenceMatrices& rm,
       const FaultPointInit& in = ff.init[qp];
       real nucl = 0;
       if (in.nucleationRiseTime > 0) {
-        const real tt = (stepStartTime + tau) / in.nucleationRiseTime;
-        nucl = tt >= 1 ? 1.0 : tt * tt * (3.0 - 2.0 * tt);
+        const real tt = (stepStartTime + tau - in.nucleationStartTime) /
+                        in.nucleationRiseTime;
+        nucl = tt <= 0 ? 0.0 : (tt >= 1 ? 1.0 : tt * tt * (3.0 - 2.0 * tt));
       }
       const real snTot = in.sigmaN0 + snGod;
       const real t1Tot = in.tau10 + nucl * in.tauNucl1 + t1God;

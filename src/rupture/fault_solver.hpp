@@ -42,6 +42,10 @@ struct FaultPointInit {
   real tauNucl1 = 0;
   real tauNucl2 = 0;
   real nucleationRiseTime = 0;  // 0 disables
+  /// Ramp onset delay [s]: the forcing stays zero until this time, then
+  /// ramps in over nucleationRiseTime.  Lets kinematic multi-patch
+  /// sources stagger sub-event rupture times (Vogl & LeVeque style).
+  real nucleationStartTime = 0;
 };
 
 struct FaultFace {

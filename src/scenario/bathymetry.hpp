@@ -1,0 +1,95 @@
+#pragma once
+
+// Analytic bathymetry built from composable primitives.
+//
+// A BathymetryField is a base depth plus a set of features (shelf ramp,
+// bay, ridge, seamount), combined either by taking the deepest feature
+// (kMax, the Palu convention: the bay and the open-ocean ramp both carve
+// into the same shelf) or by superposition (kSum).  Every primitive is
+// C^1 in (x, y) -- each shape factor is a cubic smoothstep of a clamped
+// argument or a Gaussian -- so the sigma-stretched mesh deformation and
+// the gravity free surface see a continuously differentiable interface.
+//
+// depth() is positive-down [m]; z() = -depth() is the interface height
+// used by mesh deformation and material classification.  gradient()
+// returns the analytic (d z/d x, d z/d y), pinned against finite
+// differences by the bathymetry property tests.
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tsg {
+
+/// Smooth step from 0 (t <= 0) to 1 (t >= 1); C^1 everywhere.
+real smooth01(real t);
+/// Derivative of smooth01 (zero outside (0, 1)).
+real smooth01Deriv(real t);
+
+enum class BathymetryCombine {
+  kMax,  // deepest feature wins (features carve independently)
+  kSum,  // features superpose
+};
+
+struct BathymetryFeature {
+  enum class Kind {
+    kShelf,     // depth ramp along +y: s = smooth01((y - start) / length)
+    kBay,       // bay channel: x-flank profile times a southern-end flank
+    kRidge,     // ridge/trench band along y: x-flank profile only
+    kSeamount,  // Gaussian bump: s = exp(-r^2 / (2 sigma^2))
+  };
+  Kind kind = Kind::kShelf;
+  /// Added depth at full feature strength [m]; negative values shoal
+  /// (ridge crests, seamounts rising towards the surface).
+  real amplitude = 0;
+  // shelf
+  real start = 0;
+  real length = 1;
+  // bay / ridge
+  real halfWidth = 1;
+  real southEnd = 0;
+  real flankRamp = 1;
+  real centerX = 0;
+  // seamount
+  real centerY = 0;
+  real sigma = 1;
+
+  /// Shape factor in [0, 1].
+  real shape(real x, real y) const;
+  /// Analytic (d shape/d x, d shape/d y).
+  std::array<real, 2> shapeGradient(real x, real y) const;
+};
+
+class BathymetryField {
+ public:
+  BathymetryField() = default;
+  BathymetryField(real baseDepth, BathymetryCombine combine,
+                  std::vector<BathymetryFeature> features)
+      : baseDepth_(baseDepth),
+        combine_(combine),
+        features_(std::move(features)) {}
+
+  /// Positive-down water depth [m] at (x, y).
+  real depth(real x, real y) const;
+  /// Interface height z = -depth (what mesh deformation and material
+  /// classification consume).
+  real z(real x, real y) const { return -depth(x, y); }
+  /// Analytic gradient of z(x, y).
+  std::array<real, 2> gradient(real x, real y) const;
+
+  /// Conservative [min, max] bounds on depth() over the whole plane:
+  /// every sample is guaranteed to lie inside (property-tested).
+  std::array<real, 2> depthBounds() const;
+
+  real baseDepth() const { return baseDepth_; }
+  BathymetryCombine combine() const { return combine_; }
+  const std::vector<BathymetryFeature>& features() const { return features_; }
+
+ private:
+  real baseDepth_ = 0;
+  BathymetryCombine combine_ = BathymetryCombine::kMax;
+  std::vector<BathymetryFeature> features_;
+};
+
+}  // namespace tsg

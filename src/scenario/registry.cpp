@@ -1,0 +1,179 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+#include "geometry/mesh_builder.hpp"
+#include "scenario/megathrust.hpp"
+#include "scenario/palu.hpp"
+#include "scenario/spec.hpp"
+
+namespace tsg {
+
+namespace {
+
+// The builtin builders reproduce the historical CLI branches verbatim
+// (parameter overrides, receiver placement, solver defaults).  They are
+// the golden reference the preset-equivalence suite pins the DSL
+// against; remove them once the presets have soaked for a release.
+
+ScenarioBundle buildQuickstart(int degree) {
+  ScenarioBundle b;
+  b.name = "quickstart";
+  BoxMeshSpec spec;
+  spec.xLines = uniformLine(0, 4000, 8);
+  spec.yLines = uniformLine(0, 4000, 8);
+  spec.zLines = uniformLine(-3000, 0, 6);
+  spec.material = [](const Vec3& c) { return c[2] > -1000 ? 1 : 0; };
+  spec.boundary = [](const Vec3&, const Vec3& n) {
+    return n[2] > 0.5 ? BoundaryType::kGravityFreeSurface
+                      : BoundaryType::kAbsorbing;
+  };
+  b.mesh = buildBoxMesh(spec);
+  b.materials = {Material::fromVelocities(2700, 6000, 3464),
+                 Material::acoustic(1000, 1500)};
+  b.solver.degree = degree;
+  b.initial = [](const Vec3& x, int material) {
+    std::array<real, kNumQuantities> q{};
+    if (material == 1) {
+      const real r2 = norm2(x - Vec3{2000, 2000, -500});
+      const real p = 2e4 * std::exp(-r2 / (2 * 250.0 * 250.0));
+      q[kSxx] = q[kSyy] = q[kSzz] = -p;
+    }
+    return q;
+  };
+  b.receivers = {{"water", {2000.0, 2000.0, -500.0}},
+                 {"crust", {2000.0, 2000.0, -2000.0}}};
+  return b;
+}
+
+ScenarioBundle buildMegathrust(int degree) {
+  ScenarioBundle b;
+  b.name = "megathrust";
+  MegathrustParams p;
+  p.h = 3000.0;
+  p.faultAlongStrike = 12000.0;
+  p.faultDownDip = 9000.0;
+  p.domainPadding = 12000.0;
+  MegathrustScenario s = buildMegathrustScenario(p);
+  b.mesh = std::move(s.mesh);
+  b.materials = s.materials;
+  b.faultInit = s.faultInit;
+  b.solver = megathrustSolverConfig(degree);
+  b.receivers = {{"water", {0.0, 0.0, -1000.0}},
+                 {"crust", {2000.0, 1000.0, -4000.0}}};
+  return b;
+}
+
+ScenarioBundle buildPalu(int degree) {
+  ScenarioBundle b;
+  b.name = "palu";
+  PaluParams p;
+  p.hFault = 3000.0;
+  p.hWaterVertical = 350.0;
+  p.shelfDepth = 200.0;
+  PaluScenario s = buildPaluScenario(p);
+  b.mesh = std::move(s.mesh);
+  b.materials = s.materials;
+  b.faultInit = s.faultInit;
+  b.solver = paluSolverConfig(degree);
+  b.receivers = {{"bay", {0.0, -10000.0, -300.0}},
+                 {"crust", {0.0, 0.0, -5000.0}}};
+  return b;
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry reg = [] {
+    ScenarioRegistry r;
+    r.add("quickstart", buildQuickstart);
+    r.add("megathrust", buildMegathrust);
+    r.add("palu", buildPalu);
+    return r;
+  }();
+  return reg;
+}
+
+void ScenarioRegistry::add(const std::string& name, Builder builder) {
+  for (auto& [n, b] : builders_) {
+    if (n == name) {
+      b = std::move(builder);
+      return;
+    }
+  }
+  builders_.emplace_back(name, std::move(builder));
+}
+
+bool ScenarioRegistry::has(const std::string& name) const {
+  for (const auto& [n, b] : builders_) {
+    (void)b;
+    if (n == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, b] : builders_) {
+    (void)b;
+    out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ScenarioBundle ScenarioRegistry::build(const std::string& name,
+                                       int degree) const {
+  for (const auto& [n, b] : builders_) {
+    if (n == name) {
+      return b(degree);
+    }
+  }
+  std::string known;
+  for (const auto& n : names()) {
+    known += known.empty() ? n : " | " + n;
+  }
+  throw ConfigError("unknown scenario '" + name + "' (expected " + known +
+                    ", or use preset = <file>)");
+}
+
+ScenarioBundle buildScenarioFromConfig(const ConfigFile& cfg, int degree) {
+  return buildScenario(loadScenarioSpec(cfg), degree);
+}
+
+ScenarioBundle loadPresetScenario(const std::string& path, int degree) {
+  const ConfigFile cfg = ConfigFile::load(path);
+  if (!cfg.hasSections()) {
+    throw ConfigError("preset " + path +
+                      ": no scenario sections found (is this a run config?)");
+  }
+  // Reject run-level keys: a preset describes a scenario, not a run.
+  // (Every top-level key is unused because we only read sections.)
+  const auto runKeys = cfg.unusedKeys();
+  if (!runKeys.empty()) {
+    throw ConfigError("preset " + path + ": run-level key '" +
+                      *runKeys.begin() +
+                      "' is not allowed in a preset (set run options in the "
+                      "config that references the preset)");
+  }
+  ScenarioBundle bundle = buildScenarioFromConfig(cfg, degree);
+  if (bundle.name == "custom") {
+    // Default the display name to the file stem.
+    std::string stem = path;
+    const auto slash = stem.find_last_of("/\\");
+    if (slash != std::string::npos) {
+      stem = stem.substr(slash + 1);
+    }
+    const auto dotPos = stem.find_last_of('.');
+    if (dotPos != std::string::npos) {
+      stem = stem.substr(0, dotPos);
+    }
+    bundle.name = stem;
+  }
+  return bundle;
+}
+
+}  // namespace tsg

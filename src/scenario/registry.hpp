@@ -1,0 +1,51 @@
+#pragma once
+
+// ScenarioRegistry: name -> ScenarioBundle builders.
+//
+// The three compiled-in scenarios (quickstart, megathrust, palu) are
+// registered at startup with exactly the parameters the CLI used to
+// hardcode; they remain the golden reference for one release while the
+// shipped presets under examples/presets/ re-express them through the
+// config DSL (deprecating `scenario = <class>` in favour of
+// `preset = <file>`).  New workloads need no C++ at all: declare the
+// scenario sections in the run config or point `preset` at a file.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "scenario/scenario.hpp"
+
+namespace tsg {
+
+class ScenarioRegistry {
+ public:
+  using Builder = std::function<ScenarioBundle(int degree)>;
+
+  /// The process-wide registry, pre-populated with the builtins.
+  static ScenarioRegistry& instance();
+
+  void add(const std::string& name, Builder builder);
+  bool has(const std::string& name) const;
+  /// Registered names, sorted (for error messages and --help output).
+  std::vector<std::string> names() const;
+  /// Build a registered scenario; throws ConfigError listing the known
+  /// names when `name` is not registered.
+  ScenarioBundle build(const std::string& name, int degree) const;
+
+ private:
+  std::vector<std::pair<std::string, Builder>> builders_;
+};
+
+/// Build a scenario from the DSL sections of an already-parsed config
+/// (run file with inline sections, or a preset file).
+ScenarioBundle buildScenarioFromConfig(const ConfigFile& cfg, int degree);
+
+/// Load a preset file: a config whose content is purely scenario
+/// sections.  Top-level run keys (end_time, kernel_path, ...) in a
+/// preset are a layering error and throw ConfigError -- run options
+/// belong to the run config that references the preset.
+ScenarioBundle loadPresetScenario(const std::string& path, int degree);
+
+}  // namespace tsg

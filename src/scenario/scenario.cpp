@@ -1,0 +1,34 @@
+#include "scenario/scenario.hpp"
+
+#include <stdexcept>
+
+#include "common/errors.hpp"
+
+namespace tsg {
+
+std::unique_ptr<Simulation> makeSimulation(const ScenarioBundle& bundle) {
+  auto sim = std::make_unique<Simulation>(bundle.mesh, bundle.materials,
+                                          bundle.solver);
+  if (bundle.initial) {
+    sim->setInitialCondition(bundle.initial);
+  } else {
+    sim->setInitialCondition(
+        [](const Vec3&, int) { return std::array<real, kNumQuantities>{}; });
+  }
+  if (bundle.faultInit) {
+    sim->setupFault(bundle.faultInit);
+  }
+  if (bundle.initialEta) {
+    sim->initializeSeaSurface(bundle.initialEta);
+  }
+  for (const auto& rec : bundle.receivers) {
+    try {
+      sim->addReceiver(rec.name, rec.x);
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError("receiver '" + rec.name + "': " + e.what());
+    }
+  }
+  return sim;
+}
+
+}  // namespace tsg

@@ -1,0 +1,52 @@
+#pragma once
+
+// ScenarioBundle: the complete, scenario-agnostic description of one
+// workload -- mesh, material table, solver defaults, initial condition,
+// fault initialisation, optional initial sea-surface displacement, and
+// receiver array.  Both the compiled-in legacy scenario classes and the
+// config-driven DSL (scenario/spec.hpp) produce this one struct, and
+// makeSimulation() assembles a Simulation from it through a single code
+// path, so a preset-built run is structurally identical to a legacy
+// build -- the preset-equivalence suite then pins it bitwise.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/mesh.hpp"
+#include "physics/material.hpp"
+#include "rupture/fault_solver.hpp"
+#include "solver/simulation.hpp"
+#include "solver/solver_config.hpp"
+
+namespace tsg {
+
+struct ScenarioReceiver {
+  std::string name;
+  Vec3 x{};
+};
+
+struct ScenarioBundle {
+  std::string name;  // display name (logs, telemetry, perf metadata)
+  Mesh mesh;
+  std::vector<Material> materials;
+  /// Scenario defaults (degree, gravity, friction law); CLI-controlled
+  /// execution options are layered on top by the driver.
+  SolverConfig solver;
+  /// Null means zero initial state.
+  InitialCondition initial;
+  /// Null when the scenario has no dynamic-rupture fault.
+  FaultInitFn faultInit;
+  /// Optional initial sea-surface displacement eta(x, y); null = flat.
+  std::function<real(real, real)> initialEta;
+  std::vector<ScenarioReceiver> receivers;
+};
+
+/// Build a Simulation from a bundle through the one canonical sequence
+/// (initial condition, fault, sea surface, receivers).  Receiver points
+/// outside the mesh surface as ConfigError (they are declaration errors,
+/// whether declared in C++ or in a config file).
+std::unique_ptr<Simulation> makeSimulation(const ScenarioBundle& bundle);
+
+}  // namespace tsg

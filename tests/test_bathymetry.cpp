@@ -1,0 +1,234 @@
+// Analytic bathymetry primitives (scenario/bathymetry):
+//  * every primitive is C^0 and C^1 across its blend boundaries,
+//  * analytic gradients match central finite differences,
+//  * depthBounds() contains every sample under both combine modes,
+//  * the composed field reproduces the legacy Palu expression bitwise
+//    (the identity the preset-equivalence suite relies on).
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/bathymetry.hpp"
+
+namespace tsg {
+namespace {
+
+BathymetryFeature paluBay() {
+  BathymetryFeature f;
+  f.kind = BathymetryFeature::Kind::kBay;
+  f.amplitude = 500;
+  f.halfWidth = 4000;
+  f.southEnd = -24000;
+  f.flankRamp = 6000;
+  f.centerX = 0;
+  return f;
+}
+
+BathymetryFeature paluShelf() {
+  BathymetryFeature f;
+  f.kind = BathymetryFeature::Kind::kShelf;
+  f.amplitude = 500;
+  f.start = 12000;
+  f.length = 16000;
+  return f;
+}
+
+BathymetryFeature ridge(real amplitude) {
+  BathymetryFeature f;
+  f.kind = BathymetryFeature::Kind::kRidge;
+  f.amplitude = amplitude;
+  f.halfWidth = 5000;
+  f.centerX = 1000;
+  return f;
+}
+
+BathymetryFeature seamount(real amplitude) {
+  BathymetryFeature f;
+  f.kind = BathymetryFeature::Kind::kSeamount;
+  f.amplitude = amplitude;
+  f.centerX = -2000;
+  f.centerY = 3000;
+  f.sigma = 2500;
+  return f;
+}
+
+std::vector<BathymetryFeature> allKinds() {
+  return {paluShelf(), paluBay(), ridge(-300), seamount(-400)};
+}
+
+TEST(Bathymetry, Smooth01ClampsAndIsC1AtTheEnds) {
+  EXPECT_EQ(smooth01(-2.0), 0.0);
+  EXPECT_EQ(smooth01(0.0), 0.0);
+  EXPECT_EQ(smooth01(1.0), 1.0);
+  EXPECT_EQ(smooth01(3.0), 1.0);
+  EXPECT_EQ(smooth01(0.5), 0.5);
+  EXPECT_EQ(smooth01Deriv(-0.1), 0.0);
+  EXPECT_EQ(smooth01Deriv(1.1), 0.0);
+  // Derivative matches a central difference inside and AT the clamp
+  // points (the cubic has zero slope there, which is what makes the
+  // composed surfaces C^1).
+  for (const real t : {0.0, 1e-4, 0.2, 0.5, 0.8, 1.0 - 1e-4, 1.0}) {
+    const real h = 1e-6;
+    const real fd = (smooth01(t + h) - smooth01(t - h)) / (2 * h);
+    EXPECT_NEAR(smooth01Deriv(t), fd, 1e-5) << "t = " << t;
+  }
+}
+
+TEST(Bathymetry, PrimitivesAreContinuousAcrossBlendBoundaries) {
+  // Scan a fine transect through every blend boundary of every primitive
+  // and bound the jump between neighbouring samples by a Lipschitz
+  // estimate: |ds| <= L * dx with L = 1.5/length-scale (the cubic's peak
+  // slope) plus slack.  A C^0 break would show up as a jump ~amplitude.
+  for (const BathymetryFeature& f : allKinds()) {
+    const real dx = 0.5;
+    const real lengthScale =
+        f.kind == BathymetryFeature::Kind::kShelf
+            ? f.length
+            : (f.kind == BathymetryFeature::Kind::kSeamount ? f.sigma
+                                                            : 0.5 * f.halfWidth);
+    const real lip = 2.0 / lengthScale;  // >= max |d shape/d coord|
+    for (real x = -30000; x <= 30000; x += 1500) {
+      real prev = f.shape(x, -30000);
+      for (real y = -30000 + dx; y <= 30000; y += dx) {
+        const real cur = f.shape(x, y);
+        ASSERT_LE(std::abs(cur - prev), lip * dx + 1e-12)
+            << "y-jump at (" << x << ", " << y << ")";
+        prev = cur;
+      }
+    }
+    for (real y = -30000; y <= 30000; y += 1500) {
+      real prev = f.shape(-30000, y);
+      for (real x = -30000 + dx; x <= 30000; x += dx) {
+        const real cur = f.shape(x, y);
+        ASSERT_LE(std::abs(cur - prev), lip * dx + 1e-12)
+            << "x-jump at (" << x << ", " << y << ")";
+        prev = cur;
+      }
+    }
+  }
+}
+
+TEST(Bathymetry, ShapeGradientMatchesFiniteDifference) {
+  // Central differences at a lattice that straddles every blend
+  // boundary; C^1 means the analytic gradient agrees everywhere, kink
+  // points included.
+  for (const BathymetryFeature& f : allKinds()) {
+    for (real x = -26000; x <= 26000; x += 730) {
+      for (real y = -26000; y <= 26000; y += 730) {
+        const real h = 1e-3;
+        const auto g = f.shapeGradient(x, y);
+        const real fdx = (f.shape(x + h, y) - f.shape(x - h, y)) / (2 * h);
+        const real fdy = (f.shape(x, y + h) - f.shape(x, y - h)) / (2 * h);
+        ASSERT_NEAR(g[0], fdx, 2e-6) << "d/dx at (" << x << ", " << y << ")";
+        ASSERT_NEAR(g[1], fdy, 2e-6) << "d/dy at (" << x << ", " << y << ")";
+      }
+    }
+  }
+}
+
+TEST(Bathymetry, FieldGradientMatchesFiniteDifferenceUnderSuperposition) {
+  const BathymetryField field(1000, BathymetryCombine::kSum, allKinds());
+  for (real x = -25000; x <= 25000; x += 1370) {
+    for (real y = -25000; y <= 25000; y += 1370) {
+      const real h = 1e-3;
+      const auto g = field.gradient(x, y);
+      const real fdx = (field.z(x + h, y) - field.z(x - h, y)) / (2 * h);
+      const real fdy = (field.z(x, y + h) - field.z(x, y - h)) / (2 * h);
+      ASSERT_NEAR(g[0], fdx, 1e-4) << "(" << x << ", " << y << ")";
+      ASSERT_NEAR(g[1], fdy, 1e-4) << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(Bathymetry, MaxCombineGradientMatchesAwayFromTies) {
+  // For combine = max the gradient follows the winning feature; at a tie
+  // the surface has a genuine kink, so pin the gradient only where one
+  // feature clearly dominates.
+  const BathymetryField field(200, BathymetryCombine::kMax,
+                              {paluBay(), paluShelf()});
+  const real h = 1e-3;
+  struct Pt {
+    real x, y;
+  };
+  // Saturated plateaus (zero gradient), the bay's southern ramp (bay
+  // wins with nonzero d/dy), the bay's x-flank, and the open-ocean ramp
+  // off the bay (shelf wins with nonzero d/dy).
+  for (const Pt p : {Pt{0, -5000}, Pt{0, 0}, Pt{500, -15000}, Pt{9000, 29000},
+                     Pt{0, -20000}, Pt{3000, -10000}, Pt{9000, 20000}}) {
+    const auto g = field.gradient(p.x, p.y);
+    const real fdx = (field.z(p.x + h, p.y) - field.z(p.x - h, p.y)) / (2 * h);
+    const real fdy = (field.z(p.x, p.y + h) - field.z(p.x, p.y - h)) / (2 * h);
+    ASSERT_NEAR(g[0], fdx, 1e-5) << "(" << p.x << ", " << p.y << ")";
+    ASSERT_NEAR(g[1], fdy, 1e-5) << "(" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST(Bathymetry, DepthBoundsContainEverySampleBothCombines) {
+  for (const BathymetryCombine combine :
+       {BathymetryCombine::kMax, BathymetryCombine::kSum}) {
+    // Mixed-sign amplitudes: deepening shelf and bay, shoaling ridge and
+    // seamount.  The bounds must stay conservative for both.
+    const BathymetryField field(
+        1000, combine, {paluShelf(), paluBay(), ridge(-300), seamount(-450)});
+    const auto bounds = field.depthBounds();
+    ASSERT_LE(bounds[0], bounds[1]);
+    real seenMin = 1e300, seenMax = -1e300;
+    for (real x = -30000; x <= 30000; x += 590) {
+      for (real y = -30000; y <= 30000; y += 590) {
+        const real d = field.depth(x, y);
+        ASSERT_GE(d, bounds[0]) << "(" << x << ", " << y << ")";
+        ASSERT_LE(d, bounds[1]) << "(" << x << ", " << y << ")";
+        seenMin = std::min(seenMin, d);
+        seenMax = std::max(seenMax, d);
+      }
+    }
+    // The bounds are not vacuous: the base depth is attained far from
+    // every feature, and the sampled range approaches the bound where a
+    // feature saturates.
+    EXPECT_LE(bounds[0], seenMin);
+    EXPECT_GE(bounds[1], seenMax);
+    EXPECT_LE(seenMin, 1000.0);
+    EXPECT_GE(seenMax, 1000.0);
+  }
+}
+
+TEST(Bathymetry, EmptyFieldIsFlatBase) {
+  const BathymetryField field(750, BathymetryCombine::kMax, {});
+  EXPECT_EQ(field.depth(123, -456), 750.0);
+  EXPECT_EQ(field.z(123, -456), -750.0);
+  EXPECT_EQ(field.gradient(0, 0), (std::array<real, 2>{0.0, 0.0}));
+  EXPECT_EQ(field.depthBounds(), (std::array<real, 2>{750.0, 750.0}));
+}
+
+// The identity the preset-equivalence suite stands on: the DSL field with
+// combine = max and equal amplitudes reproduces the legacy Palu
+// expression  depth = shelf + A * max(sBay, sShelf)  BITWISE, because
+// max(A*s1, A*s2) == A*max(s1, s2) exactly for A > 0 under IEEE
+// rounding (multiplication by a shared positive factor is monotone and
+// deterministic).
+TEST(Bathymetry, MaxCombineMatchesLegacyPaluExpressionBitwise) {
+  const real shelfDepth = 200, bayDepth = 700;
+  const BathymetryField field(shelfDepth, BathymetryCombine::kMax,
+                              {paluBay(), paluShelf()});
+  const auto legacy = [&](real x, real y) {
+    // Verbatim structure of the legacy PaluScenario bathymetry.
+    const real bayY = smooth01((y - (-24000.0)) / 6000.0);
+    const real bayX = smooth01((4000.0 - std::abs(x - 0.0)) / (0.5 * 4000.0));
+    const real sBay = bayX * bayY;
+    const real sOcean = smooth01((y - 12000.0) / 16000.0);
+    return shelfDepth + (bayDepth - shelfDepth) * std::max(sBay, sOcean);
+  };
+  for (real x = -20000; x <= 20000; x += 317) {
+    for (real y = -36000; y <= 36000; y += 317) {
+      ASSERT_EQ(field.depth(x, y), legacy(x, y))
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsg

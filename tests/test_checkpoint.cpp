@@ -23,6 +23,8 @@
 #include "geometry/mesh_builder.hpp"
 #include "io/atomic_file.hpp"
 #include "scenario/megathrust.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
 #include "solver/simulation.hpp"
 
 namespace tsg {
@@ -370,6 +372,62 @@ TEST(Checkpoint, RelayoutSurvivesCrossKernelPathSaveRestore) {
             << " sample " << i << " quantity " << q;
       }
     }
+  }
+  std::remove(path.c_str());
+}
+
+/// The quickstart scenario built either from the registry builtin (the
+/// legacy golden path) or from the shipped preset file (the DSL path),
+/// with identical solver-side settings.
+std::unique_ptr<Simulation> quickstartSim(bool fromPreset) {
+  ScenarioBundle bundle =
+      fromPreset
+          ? loadPresetScenario(std::string(TSG_PRESET_DIR) + "/quickstart.cfg",
+                               2)
+          : ScenarioRegistry::instance().build("quickstart", 2);
+  bundle.solver.deterministic = true;
+  return makeSimulation(bundle);
+}
+
+TEST(Checkpoint, PresetBuiltSimRoundTripsAndCrossRestoresWithBuiltin) {
+  // Registry-built scenario -> checkpoint -> restore resumes bitwise,
+  // and because the preset reproduces the builtin exactly, the two
+  // construction paths share a configHash: a checkpoint written by a
+  // builtin-built run restores into a preset-built simulation and
+  // continues identically (and vice versa would hold by symmetry).
+  const std::string path = "ckpt_preset.tsgck";
+  auto a = quickstartSim(/*fromPreset=*/false);
+  auto p = quickstartSim(/*fromPreset=*/true);
+  ASSERT_EQ(a->configHash(), p->configHash())
+      << "preset and builtin quickstart must hash identically or "
+         "checkpoints stop being interchangeable";
+  const real t1 = 2.0 * a->macroDt() - 1e-12;
+  const real t2 = 4.0 * a->macroDt() - 1e-12;
+  a->advanceTo(t1);
+  a->saveCheckpoint(path);
+  a->advanceTo(t2);
+
+  // Restore the builtin-written checkpoint into the preset-built sim.
+  p->restoreCheckpoint(path);
+  p->advanceTo(t2);
+  EXPECT_EQ(a->tick(), p->tick());
+  for (int r = 0; r < a->numReceivers(); ++r) {
+    const Receiver& ra = a->receiver(r);
+    const Receiver& rp = p->receiver(r);
+    ASSERT_EQ(ra.times.size(), rp.times.size());
+    for (std::size_t i = 0; i < ra.times.size(); ++i) {
+      ASSERT_EQ(ra.times[i], rp.times[i]);
+      for (int q = 0; q < kNumQuantities; ++q) {
+        ASSERT_EQ(ra.samples[i][q], rp.samples[i][q])
+            << "receiver " << ra.name << " sample " << i << " quantity " << q;
+      }
+    }
+  }
+  const auto sa = a->seaSurface();
+  const auto sp = p->seaSurface();
+  ASSERT_EQ(sa.size(), sp.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].eta, sp[i].eta);
   }
   std::remove(path.c_str());
 }

@@ -40,10 +40,9 @@
 #include "common/config.hpp"
 #include "common/errors.hpp"
 #include "checkpoint/checkpoint.hpp"
-#include "geometry/mesh_builder.hpp"
 #include "io/vtk_writer.hpp"
-#include "scenario/megathrust.hpp"
-#include "scenario/palu.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
 #include "solver/diagnostics.hpp"
 #include "solver/health_monitor.hpp"
 #include "solver/simulation.hpp"
@@ -55,7 +54,11 @@ using namespace tsg;
 namespace {
 
 constexpr const char* kTemplate = R"(# tsunamigen run configuration
-scenario            = megathrust   # quickstart | megathrust | palu
+# Scenario selection, one of three forms (see README "Scenario configs"):
+#   preset = examples/presets/palu.cfg    config-driven scenario file
+#   scenario = megathrust                 compiled-in class (deprecated)
+#   inline [section] blocks               DSL sections in this file
+preset              = examples/presets/megathrust.cfg
 degree              = 2            # polynomial order 1..5
 end_time            = 10.0         # [s], > 0
 output_prefix       = run
@@ -84,6 +87,9 @@ pin_threads         = false        # pin workers to cores (paper Sec. 5.2 placem
 
 struct CliOptions {
   std::string scenario;
+  bool scenarioKeySet = false;  // `scenario =` explicitly present
+  std::string preset;           // path to a scenario preset file
+  bool inlineScenario = false;  // DSL sections in the run config itself
   int degree = 2;
   real endTime = 2.0;
   std::string prefix = "run";
@@ -112,7 +118,10 @@ struct CliOptions {
 /// invalid value instead of silently running a zero-step "success".
 CliOptions readOptions(const ConfigFile& cfg) {
   CliOptions o;
+  o.scenarioKeySet = cfg.has("scenario");
   o.scenario = cfg.getString("scenario", "quickstart");
+  o.preset = cfg.getString("preset", "");
+  o.inlineScenario = cfg.hasSections();
   o.degree = cfg.getInt("degree", 2);
   o.endTime = cfg.getNumber("end_time", 2.0);
   o.prefix = cfg.getString("output_prefix", "run");
@@ -152,10 +161,24 @@ CliOptions readOptions(const ConfigFile& cfg) {
             {logStr("key", key)});
   }
 
-  if (o.scenario != "quickstart" && o.scenario != "megathrust" &&
-      o.scenario != "palu") {
-    throw ConfigError("unknown scenario '" + o.scenario +
-                      "' (expected quickstart | megathrust | palu)");
+  if (!o.preset.empty() && o.scenarioKeySet) {
+    throw ConfigError(
+        "both 'preset' and 'scenario' are set; pick one scenario source");
+  }
+  if (!o.preset.empty() && o.inlineScenario) {
+    throw ConfigError(
+        "'preset' is set but the run config also declares inline scenario "
+        "sections; pick one scenario source");
+  }
+  if (o.scenarioKeySet && o.inlineScenario) {
+    throw ConfigError(
+        "'scenario' is set but the run config also declares inline scenario "
+        "sections; pick one scenario source");
+  }
+  if (o.preset.empty() && !o.inlineScenario &&
+      !ScenarioRegistry::instance().has(o.scenario)) {
+    // build() throws the canonical unknown-scenario ConfigError.
+    ScenarioRegistry::instance().build(o.scenario, o.degree);
   }
   if (!(o.endTime > 0)) {
     throw ConfigError("end_time must be > 0 (got " +
@@ -204,73 +227,32 @@ void applySolverOptions(SolverConfig& sc, const CliOptions& o) {
   }
 }
 
-/// Build the scenario's simulation with its standard receivers.  Resumed
-/// runs must rebuild the identical setup, so everything here is a pure
-/// function of the validated options.
-std::unique_ptr<Simulation> buildSimulation(const CliOptions& o) {
-  std::unique_ptr<Simulation> sim;
-  if (o.scenario == "megathrust") {
-    MegathrustParams p;
-    p.h = 3000.0;
-    p.faultAlongStrike = 12000.0;
-    p.faultDownDip = 9000.0;
-    p.domainPadding = 12000.0;
-    const MegathrustScenario s = buildMegathrustScenario(p);
-    SolverConfig sc = megathrustSolverConfig(o.degree);
-    applySolverOptions(sc, o);
-    sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
-    sim->setInitialCondition([](const Vec3&, int) {
-      return std::array<real, 9>{};
-    });
-    sim->setupFault(s.faultInit);
-    sim->addReceiver("water", {0.0, 0.0, -1000.0});
-    sim->addReceiver("crust", {2000.0, 1000.0, -4000.0});
-  } else if (o.scenario == "palu") {
-    PaluParams p;
-    p.hFault = 3000.0;
-    p.hWaterVertical = 350.0;
-    p.shelfDepth = 200.0;
-    const PaluScenario s = buildPaluScenario(p);
-    SolverConfig sc = paluSolverConfig(o.degree);
-    applySolverOptions(sc, o);
-    sim = std::make_unique<Simulation>(s.mesh, s.materials, sc);
-    sim->setInitialCondition([](const Vec3&, int) {
-      return std::array<real, 9>{};
-    });
-    sim->setupFault(s.faultInit);
-    sim->addReceiver("bay", {0.0, -10000.0, -300.0});
-    sim->addReceiver("crust", {0.0, 0.0, -5000.0});
-  } else {  // quickstart
-    BoxMeshSpec spec;
-    spec.xLines = uniformLine(0, 4000, 8);
-    spec.yLines = uniformLine(0, 4000, 8);
-    spec.zLines = uniformLine(-3000, 0, 6);
-    spec.material = [](const Vec3& c) { return c[2] > -1000 ? 1 : 0; };
-    spec.boundary = [](const Vec3&, const Vec3& n) {
-      return n[2] > 0.5 ? BoundaryType::kGravityFreeSurface
-                        : BoundaryType::kAbsorbing;
-    };
-    SolverConfig sc;
-    sc.degree = o.degree;
-    applySolverOptions(sc, o);
-    sim = std::make_unique<Simulation>(
-        buildBoxMesh(spec),
-        std::vector<Material>{Material::fromVelocities(2700, 6000, 3464),
-                              Material::acoustic(1000, 1500)},
-        sc);
-    sim->setInitialCondition([](const Vec3& x, int material) {
-      std::array<real, 9> q{};
-      if (material == 1) {
-        const real r2 = norm2(x - Vec3{2000, 2000, -500});
-        const real p = 2e4 * std::exp(-r2 / (2 * 250.0 * 250.0));
-        q[kSxx] = q[kSyy] = q[kSzz] = -p;
-      }
-      return q;
-    });
-    sim->addReceiver("water", {2000.0, 2000.0, -500.0});
-    sim->addReceiver("crust", {2000.0, 2000.0, -2000.0});
+/// Resolve the scenario source (preset file, inline DSL sections, or a
+/// registered builtin) into a bundle.  Resumed runs must rebuild the
+/// identical setup, so everything here is a pure function of the
+/// validated options and the config file.
+ScenarioBundle resolveScenario(const CliOptions& o, const ConfigFile& cfg) {
+  if (!o.preset.empty()) {
+    return loadPresetScenario(o.preset, o.degree);
   }
-  return sim;
+  if (o.inlineScenario) {
+    return buildScenarioFromConfig(cfg, o.degree);
+  }
+  if (o.scenarioKeySet) {
+    logWarn("scenario_class_deprecated",
+            "scenario = <class> is deprecated; use preset = "
+            "examples/presets/" + o.scenario + ".cfg",
+            {logStr("scenario", o.scenario)});
+  }
+  return ScenarioRegistry::instance().build(o.scenario, o.degree);
+}
+
+/// Build the scenario's simulation with its receivers through the one
+/// canonical ScenarioBundle path.
+std::unique_ptr<Simulation> buildSimulation(const CliOptions& o,
+                                            ScenarioBundle bundle) {
+  applySolverOptions(bundle.solver, o);
+  return makeSimulation(bundle);
 }
 
 /// Periodic checkpointing at macro-cycle boundaries with rotation: writes
@@ -347,7 +329,9 @@ int run(const std::string& configPath, const std::string& perfReportRequest,
     // ThreadPlan follow the ambient count at first use.
     omp_set_num_threads(o.threads);
   }
-  std::unique_ptr<Simulation> sim = buildSimulation(o);
+  ScenarioBundle bundle = resolveScenario(o, cfg);
+  const std::string scenarioName = bundle.name;
+  std::unique_ptr<Simulation> sim = buildSimulation(o, std::move(bundle));
   if (!o.perfReportPath.empty() || !o.tracePath.empty()) {
     sim->enablePerfMonitor(!o.tracePath.empty());
   }
@@ -373,7 +357,7 @@ int run(const std::string& configPath, const std::string& perfReportRequest,
     }
     to.statusPath = o.statusPath;
     to.endTime = o.endTime;
-    to.scenario = o.scenario;
+    to.scenario = scenarioName;
     telemetry = std::make_unique<RunTelemetry>(to);
     telemetry->attach(*sim);
   }
@@ -405,10 +389,10 @@ int run(const std::string& configPath, const std::string& perfReportRequest,
     std::snprintf(msg, sizeof msg,
                   "scenario %s: %d elements, order %d, dt_min %.3e s, "
                   "%d LTS clusters",
-                  o.scenario.c_str(), sim->mesh().numElements(), o.degree,
+                  scenarioName.c_str(), sim->mesh().numElements(), o.degree,
                   sim->dtMin(), sim->clusters().numClusters);
     logInfo("run_start", msg,
-            {logStr("scenario", o.scenario),
+            {logStr("scenario", scenarioName),
              logInt("elements", sim->mesh().numElements()),
              logInt("degree", o.degree), logNum("dt_min", sim->dtMin()),
              logInt("clusters", sim->clusters().numClusters),
@@ -455,7 +439,7 @@ int run(const std::string& configPath, const std::string& perfReportRequest,
   }
   if (const PerfMonitor* perf = sim->perfMonitor()) {
     if (!o.perfReportPath.empty()) {
-      writePerfReport(o.perfReportPath, *perf, sim->perfReportMeta(o.scenario));
+      writePerfReport(o.perfReportPath, *perf, sim->perfReportMeta(scenarioName));
       char note[64];
       std::snprintf(note, sizeof note, " (kernel time %.3f s)",
                     perf->totalSeconds());
